@@ -1,0 +1,86 @@
+"""Ablation C: ct-graph construction vs naive enumeration.
+
+The introduction's motivation: enumeration is exponential in the duration
+(2 candidate locations per step already means 2^n trajectories), while the
+ct-graph is polynomial.  This ablation measures both on the same instances
+and shows the crossover at toy durations.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.algorithm import build_ct_graph
+from repro.core.constraints import ConstraintSet, Latency, Unreachable
+from repro.core.lsequence import LSequence
+from repro.core.naive import NaiveConditioner
+from repro.experiments.report import format_table
+
+CONSTRAINTS = ConstraintSet([
+    Unreachable("A", "C"), Unreachable("C", "A"), Latency("B", 2),
+])
+
+
+def _instance(duration: int) -> LSequence:
+    rows = []
+    for tau in range(duration):
+        if tau % 3 == 0:
+            rows.append({"A": 0.4, "B": 0.4, "C": 0.2})
+        else:
+            rows.append({"A": 0.5, "B": 0.5})
+    return LSequence(rows)
+
+
+@pytest.mark.parametrize("duration", [4, 8, 12, 16])
+def test_ctg_vs_naive(benchmark, duration):
+    lsequence = _instance(duration)
+
+    def run_both():
+        started = time.perf_counter()
+        graph = build_ct_graph(lsequence, CONSTRAINTS)
+        ctg_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        naive = NaiveConditioner(lsequence, CONSTRAINTS,
+                                 enumeration_limit=None)
+        distribution = naive.conditioned_distribution()
+        naive_seconds = time.perf_counter() - started
+        return graph, distribution, ctg_seconds, naive_seconds
+
+    graph, distribution, ctg_seconds, naive_seconds = benchmark.pedantic(
+        run_both, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["ctg_ms"] = round(ctg_seconds * 1000, 3)
+    benchmark.extra_info["naive_ms"] = round(naive_seconds * 1000, 3)
+    benchmark.extra_info["valid_trajectories"] = len(distribution)
+    assert graph.num_valid_trajectories() == len(distribution)
+
+
+def test_crossover_report(benchmark, capsys):
+    def sweep():
+        rows = []
+        for duration in (4, 8, 12, 16, 18):
+            lsequence = _instance(duration)
+            started = time.perf_counter()
+            build_ct_graph(lsequence, CONSTRAINTS)
+            ctg_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            NaiveConditioner(lsequence, CONSTRAINTS,
+                             enumeration_limit=None).conditioned_distribution()
+            naive_seconds = time.perf_counter() - started
+            rows.append((duration, lsequence.num_trajectories(),
+                         f"{ctg_seconds * 1000:.2f}",
+                         f"{naive_seconds * 1000:.2f}"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1, warmup_rounds=0)
+    with capsys.disabled():
+        print()
+        print("=== Ablation C: ct-graph vs naive enumeration ===")
+        print(format_table(
+            ["duration", "trajectories", "ctg_ms", "naive_ms"], rows))
+
+    # At the longest duration the naive engine must be clearly slower.
+    last = rows[-1]
+    assert float(last[3]) > float(last[2]), \
+        "enumeration should lose badly on longer instances"

@@ -1,0 +1,83 @@
+"""Ablation D: ct-graph sampling vs rejection sampling (Section 7).
+
+The paper argues a ct-graph is an efficient basis for "sampling under
+constraints": every drawn trajectory is valid by construction.  This
+ablation compares drawing N valid trajectories from a cleaned graph
+against rejection sampling from the a-priori distribution, reporting the
+wasted-draw factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import build_ct_graph
+from repro.core.lsequence import LSequence
+from repro.core.sampling import TrajectorySampler, rejection_sample
+from repro.experiments.report import format_table
+from repro.inference import infer_constraints
+
+SAMPLES = 50
+
+
+@pytest.fixture(scope="module")
+def case(syn1, profile):
+    constraints = infer_constraints(syn1.building, profile,
+                                    kinds=("DU", "LT"),
+                                    distances=syn1.distances)
+    trajectory = syn1.all_trajectories()[0]
+    lsequence = LSequence.from_readings(trajectory.readings, syn1.prior)
+    graph = build_ct_graph(lsequence, constraints)
+    return lsequence, constraints, graph
+
+
+def test_ct_graph_sampling(benchmark, case):
+    _, _, graph = case
+    sampler = TrajectorySampler(graph, np.random.default_rng(5))
+    samples = benchmark.pedantic(
+        lambda: list(sampler.sample_many(SAMPLES)),
+        rounds=3, iterations=1, warmup_rounds=0)
+    assert len(samples) == SAMPLES
+
+
+def test_rejection_sampling(benchmark, case):
+    lsequence, constraints, _ = case
+    rng = np.random.default_rng(5)
+
+    accepted, attempts = benchmark.pedantic(
+        rejection_sample, args=(lsequence, constraints, SAMPLES, rng),
+        kwargs={"max_attempts": 20000},
+        rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["accepted"] = len(accepted)
+    benchmark.extra_info["attempts"] = attempts
+
+
+def test_sampling_report(benchmark, case, capsys):
+    lsequence, constraints, graph = case
+
+    def run():
+        sampler = TrajectorySampler(graph, np.random.default_rng(9))
+        graph_samples = list(sampler.sample_many(SAMPLES))
+        accepted, attempts = rejection_sample(
+            lsequence, constraints, SAMPLES,
+            np.random.default_rng(9), max_attempts=20000)
+        return graph_samples, accepted, attempts
+
+    graph_samples, accepted, attempts = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=0)
+    rows = [
+        ("ct-graph", len(graph_samples), len(graph_samples), "1.00"),
+        ("rejection", len(accepted), attempts,
+         f"{attempts / max(1, len(accepted)):.2f}"),
+    ]
+    with capsys.disabled():
+        print()
+        print("=== Ablation D: sampling valid trajectories "
+              f"(N={SAMPLES}) ===")
+        print(format_table(
+            ["method", "valid_samples", "draws", "draws_per_sample"], rows))
+
+    # The ct-graph sampler never wastes a draw.
+    assert len(graph_samples) == SAMPLES
+    assert attempts >= len(accepted)

@@ -1,0 +1,112 @@
+"""Baseline comparison: conditioning vs smoothing vs particles vs beam.
+
+The paper's Section 7 positions its approach against constraint-free
+smoothing (SMURF [14]) and sampling-under-constraints [4, 25].  This bench
+measures all of them on the same SYN1 readings:
+
+* RAW            — the uncleaned a-priori interpretation;
+* SMOOTH+RAW     — SMURF-style per-reader smoothing, then the prior;
+* PARTICLES      — constraint-aware particle filtering (approximate,
+                   filtered — no lookahead);
+* BEAM           — beam-limited conditioning (approximate, smoothed);
+* CTG (exact)    — the paper's algorithm.
+
+Expected shape: CTG >= BEAM >> PARTICLES ~ SMOOTH+RAW > RAW in stay
+accuracy, with smoothing unable to exploit the map at all.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.beam import BeamCleaner
+from repro.baselines.particles import ParticleFilter
+from repro.baselines.smoothing import SmoothingFilter
+from repro.core.algorithm import build_ct_graph
+from repro.core.lsequence import LSequence
+from repro.errors import InconsistentReadingsError
+from repro.experiments.report import format_table
+from repro.inference import infer_constraints
+from repro.queries.accuracy import stay_accuracy
+from repro.queries.stay import stay_query, stay_query_prior
+
+
+def test_baseline_comparison(benchmark, syn1, profile, capsys):
+    constraints = infer_constraints(syn1.building, profile,
+                                    kinds=("DU", "LT"),
+                                    distances=syn1.distances)
+    trajectories = syn1.all_trajectories()[:4]
+
+    def run():
+        scores = {name: [] for name in
+                  ("RAW", "SMOOTH+RAW", "PARTICLES", "BEAM", "CTG")}
+        seconds = {name: 0.0 for name in scores}
+        smoother = SmoothingFilter(window=3)
+        for trajectory in trajectories:
+            truth = trajectory.truth.locations
+            taus = range(0, trajectory.duration, 3)
+            lsequence = LSequence.from_readings(trajectory.readings,
+                                                syn1.prior)
+
+            scores["RAW"].extend(
+                stay_accuracy(stay_query_prior(lsequence, tau), truth[tau])
+                for tau in taus)
+
+            started = time.perf_counter()
+            smoothed = LSequence.from_readings(
+                smoother.smooth(trajectory.readings), syn1.prior)
+            seconds["SMOOTH+RAW"] += time.perf_counter() - started
+            scores["SMOOTH+RAW"].extend(
+                stay_accuracy(stay_query_prior(smoothed, tau), truth[tau])
+                for tau in taus)
+
+            started = time.perf_counter()
+            try:
+                estimates = ParticleFilter(
+                    constraints, 400,
+                    np.random.default_rng(7)).run(lsequence)
+                seconds["PARTICLES"] += time.perf_counter() - started
+                scores["PARTICLES"].extend(
+                    stay_accuracy(estimates[tau], truth[tau])
+                    for tau in taus)
+            except InconsistentReadingsError:
+                seconds["PARTICLES"] += time.perf_counter() - started
+
+            started = time.perf_counter()
+            beamed = BeamCleaner(constraints, beam_width=16).build(lsequence)
+            seconds["BEAM"] += time.perf_counter() - started
+            scores["BEAM"].extend(
+                stay_accuracy(stay_query(beamed, tau), truth[tau])
+                for tau in taus)
+
+            started = time.perf_counter()
+            graph = build_ct_graph(lsequence, constraints)
+            seconds["CTG"] += time.perf_counter() - started
+            scores["CTG"].extend(
+                stay_accuracy(stay_query(graph, tau), truth[tau])
+                for tau in taus)
+        return ({name: float(np.mean(values)) if values else float("nan")
+                 for name, values in scores.items()}, seconds)
+
+    accuracy, seconds = benchmark.pedantic(run, rounds=1, iterations=1,
+                                           warmup_rounds=0)
+    rows = [(name, f"{accuracy[name]:.3f}",
+             f"{seconds.get(name, 0.0) * 1000:.0f}")
+            for name in ("RAW", "SMOOTH+RAW", "PARTICLES", "BEAM", "CTG")]
+    with capsys.disabled():
+        print()
+        print("=== Baselines: stay accuracy (SYN1, DU+LT constraints) ===")
+        print(format_table(["method", "accuracy", "ms_total"], rows))
+
+    benchmark.extra_info.update(accuracy)
+    # The paper's core claim: constraint conditioning beats
+    # constraint-free smoothing, and the exact graph is at least as good
+    # as any approximation of it.
+    assert accuracy["CTG"] > accuracy["SMOOTH+RAW"]
+    assert accuracy["CTG"] > accuracy["RAW"]
+    assert accuracy["CTG"] >= accuracy["BEAM"] - 0.02
+    if not np.isnan(accuracy["PARTICLES"]):
+        assert accuracy["CTG"] >= accuracy["PARTICLES"] - 0.02

@@ -1,0 +1,62 @@
+"""Figure 8(a): average cleaning time on SYN1 vs trajectory length.
+
+The paper's curves: one per configuration (CTG(DU), CTG(DU,LT),
+CTG(DU,LT,TT)), time growing linearly with the trajectory duration and
+cost ordered DU <= DU+LT <= DU+LT+TT.  Each benchmark row below is one
+(configuration, duration) point of the figure; the summary test prints the
+full series as a table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import build_ct_graph
+from repro.core.lsequence import LSequence
+from repro.experiments.harness import CONSTRAINT_CONFIGS, run_cleaning_experiment
+from repro.experiments.report import cleaning_table
+
+_CONFIG_ITEMS = list(CONSTRAINT_CONFIGS.items())
+
+
+def _duration_params(dataset):
+    return dataset.durations
+
+
+@pytest.mark.parametrize("config_name,kinds", _CONFIG_ITEMS,
+                         ids=[name for name, _ in _CONFIG_ITEMS])
+@pytest.mark.parametrize("duration_index", [0, 1, 2, 3])
+def test_cleaning_time_syn1(benchmark, syn1, constraint_cache,
+                            config_name, kinds, duration_index):
+    durations = syn1.durations
+    if duration_index >= len(durations):
+        pytest.skip("scale has fewer duration buckets")
+    duration = durations[duration_index]
+    constraints = constraint_cache(syn1, kinds)
+    trajectory = syn1.trajectories[duration][0]
+    lsequence = LSequence.from_readings(trajectory.readings, syn1.prior)
+
+    graph = benchmark.pedantic(
+        build_ct_graph, args=(lsequence, constraints),
+        rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["duration"] = duration
+    benchmark.extra_info["config"] = config_name
+    benchmark.extra_info["nodes"] = graph.num_nodes
+    benchmark.extra_info["edges"] = graph.num_edges
+
+
+def test_fig8a_series(benchmark, syn1, capsys):
+    """Prints the full Fig. 8(a) series (all trajectories, all configs)."""
+    measurements = benchmark.pedantic(
+        run_cleaning_experiment, args=(syn1,),
+        rounds=1, iterations=1, warmup_rounds=0)
+    with capsys.disabled():
+        print()
+        print("=== Figure 8(a): cleaning time on SYN1 ===")
+        print(cleaning_table(measurements))
+    # The paper's shape claims.
+    by_key = {(m.config, m.duration): m for m in measurements}
+    for duration in syn1.durations:
+        du = by_key[("CTG(DU)", duration)].mean_seconds
+        full = by_key[("CTG(DU,LT,TT)", duration)].mean_seconds
+        assert full >= du, "TT cleaning should not be cheaper than DU-only"

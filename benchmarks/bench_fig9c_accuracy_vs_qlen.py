@@ -1,0 +1,35 @@
+"""Figure 9(c): trajectory-query accuracy on SYN2 vs query length.
+
+The paper buckets the Fig. 9(b) workload by the number of location
+conditions (2, 3 or 4).  Expected shape: accuracy stays high and roughly
+stable (or mildly decreasing) as queries get longer.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import run_trajectory_accuracy_experiment
+from repro.experiments.report import accuracy_table
+
+
+def test_fig9c_accuracy_by_query_length(benchmark, syn2, capsys):
+    # visited_bias makes 'yes' answers common enough to be informative on a
+    # 64-location map (the paper's uniform workload answers 'no' with
+    # near-certainty almost always) — see bench_fig9b for both variants.
+    measurements = benchmark.pedantic(
+        run_trajectory_accuracy_experiment, args=(syn2,),
+        kwargs={"queries_per_trajectory": 24, "by_query_length": True,
+                "visited_bias": 0.5},
+        rounds=1, iterations=1, warmup_rounds=0)
+    with capsys.disabled():
+        print()
+        print("=== Figure 9(c): trajectory-query accuracy on SYN2 "
+              "by query length ===")
+        print(accuracy_table(measurements))
+
+    full = {m.query_length: m.accuracy for m in measurements
+            if m.config == "CTG(DU,LT,TT)"}
+    assert set(full) == {2, 3, 4}
+    for length, accuracy in full.items():
+        benchmark.extra_info[f"qlen{length}"] = accuracy
+        assert accuracy > 0.5, \
+            f"length-{length} queries should beat a coin flip"

@@ -1,0 +1,88 @@
+"""Complexity validation: Algorithm 1 is polynomial in trajectory length.
+
+Section 5's claim ("Algorithm 1 works in polynomial time w.r.t. the length
+of trajectories") against the naive approach's exponential blow-up.  This
+bench sweeps durations on a fixed synthetic l-sequence with a constant
+per-step candidate structure, so node counts per level are bounded and the
+ct-graph cost should grow ~linearly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.algorithm import build_ct_graph
+from repro.core.constraints import (
+    ConstraintSet,
+    Latency,
+    TravelingTime,
+    Unreachable,
+)
+from repro.core.lsequence import LSequence
+from repro.experiments.report import format_table
+
+CONSTRAINTS = ConstraintSet([
+    Unreachable("A", "C"), Unreachable("C", "A"),
+    Latency("B", 3),
+    TravelingTime("A", "D", 4), TravelingTime("D", "A", 4),
+])
+
+DURATIONS = (100, 200, 400, 800, 1600)
+
+
+def _instance(duration: int) -> LSequence:
+    rows = []
+    for tau in range(duration):
+        phase = tau % 4
+        if phase == 0:
+            rows.append({"A": 0.4, "B": 0.4, "C": 0.2})
+        elif phase == 1:
+            rows.append({"B": 0.6, "D": 0.4})
+        elif phase == 2:
+            rows.append({"B": 0.5, "C": 0.3, "D": 0.2})
+        else:
+            rows.append({"A": 0.5, "B": 0.5})
+    return LSequence(rows)
+
+
+@pytest.mark.parametrize("duration", DURATIONS)
+def test_scaling_point(benchmark, duration):
+    lsequence = _instance(duration)
+    graph = benchmark.pedantic(build_ct_graph,
+                               args=(lsequence, CONSTRAINTS),
+                               rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["nodes"] = graph.num_nodes
+    benchmark.extra_info["duration"] = duration
+
+
+def test_scaling_is_subquadratic(benchmark, capsys):
+    def sweep():
+        rows = []
+        for duration in DURATIONS:
+            lsequence = _instance(duration)
+            started = time.perf_counter()
+            graph = build_ct_graph(lsequence, CONSTRAINTS)
+            elapsed = time.perf_counter() - started
+            rows.append((duration, graph.num_nodes, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1, warmup_rounds=0)
+    rendered = [(duration, nodes, f"{elapsed * 1000:.1f}")
+                for duration, nodes, elapsed in rows]
+    with capsys.disabled():
+        print()
+        print("=== Scaling: ct-graph construction vs duration ===")
+        print(format_table(["duration", "nodes", "ms"], rendered))
+
+    # Nodes per level stay bounded -> node count grows ~linearly.
+    first_duration, first_nodes, first_time = rows[0]
+    last_duration, last_nodes, last_time = rows[-1]
+    growth = last_duration / first_duration
+    assert last_nodes <= first_nodes * growth * 2.0, \
+        "node count should grow ~linearly with duration"
+    # Time is noisy; allow quadratic slack but catch exponential behaviour.
+    if first_time > 0:
+        assert last_time <= first_time * growth ** 2 * 8.0, \
+            "construction time should stay polynomial (near-linear)"

@@ -1,0 +1,56 @@
+"""Shared fixtures for the figure benchmarks.
+
+Scale control: every benchmark honours the ``REPRO_SCALE`` environment
+variable (``tiny`` | ``small`` | ``medium`` | ``paper``).  The default is
+``tiny`` so the whole bench suite completes in minutes; ``paper`` restores
+the EDBT setup (25 trajectories per duration in {30, 60, 90, 120} minutes)
+and takes hours in pure Python.  The paper's claims are about curve
+*shapes* (linearity, cost/accuracy orderings), which are preserved at every
+scale — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.inference import MotilityProfile, infer_constraints
+from repro.simulation.datasets import active_scale, syn1_dataset, syn2_dataset
+
+#: The benchmark-default scale (overridden via REPRO_SCALE).
+BENCH_SCALE = active_scale(default="small")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def syn1():
+    return syn1_dataset(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def syn2():
+    return syn2_dataset(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return MotilityProfile()
+
+
+@pytest.fixture(scope="session")
+def constraint_cache(profile):
+    """Constraint sets per (dataset name, kinds), computed once."""
+    cache = {}
+
+    def get(dataset, kinds):
+        key = (dataset.name, tuple(kinds))
+        if key not in cache:
+            cache[key] = infer_constraints(dataset.building, profile,
+                                           kinds=kinds,
+                                           distances=dataset.distances)
+        return cache[key]
+
+    return get

@@ -1,0 +1,374 @@
+"""Command-line driver: generate data, clean it, query it, run experiments.
+
+Examples::
+
+    rfid-ctg info --dataset syn1 --scale tiny
+    rfid-ctg clean --dataset syn1 --scale tiny --constraints DU,LT
+    rfid-ctg query --dataset syn1 --scale tiny --pattern "? F0_R1[3] ?"
+    rfid-ctg experiment --name fig9a --dataset syn1 --scale tiny
+
+The CLI works on the synthetic SYN1/SYN2 datasets (regenerated
+deterministically from the seed) — it exists to make the reproduction
+explorable without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.algorithm import build_ct_graph
+from repro.core.lsequence import LSequence
+from repro.experiments.harness import (
+    CONSTRAINT_CONFIGS,
+    run_cleaning_experiment,
+    run_query_time_experiment,
+    run_stay_accuracy_experiment,
+    run_trajectory_accuracy_experiment,
+)
+from repro.experiments.report import (
+    accuracy_table,
+    cleaning_table,
+    query_time_table,
+)
+from repro.inference import MotilityProfile, infer_constraints
+from repro.queries.stay import stay_query
+from repro.queries.trajectory import TrajectoryQuery
+from repro.simulation.datasets import SCALES, syn1_dataset, syn2_dataset
+
+__all__ = ["main", "build_parser"]
+
+_DATASETS = {"syn1": syn1_dataset, "syn2": syn2_dataset}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rfid-ctg",
+        description="Clean RFID trajectory data by conditioning under "
+                    "integrity constraints (EDBT 2014 reproduction).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", choices=sorted(_DATASETS), default="syn1",
+                       help="synthetic dataset to (re)generate")
+        p.add_argument("--scale", choices=sorted(SCALES), default="tiny",
+                       help="dataset scale (durations x trajectories)")
+        p.add_argument("--seed", type=int, default=17,
+                       help="generator seed (datasets are deterministic)")
+
+    info = sub.add_parser("info", help="describe a dataset")
+    add_common(info)
+
+    clean = sub.add_parser("clean", help="clean one trajectory and report stats")
+    add_common(clean)
+    clean.add_argument("--constraints", default="DU,LT,TT",
+                       help="comma-separated subset of DU,LT,TT")
+    clean.add_argument("--index", type=int, default=0,
+                       help="which trajectory of the dataset to clean")
+
+    query = sub.add_parser("query", help="run a stay or trajectory query")
+    add_common(query)
+    query.add_argument("--constraints", default="DU,LT,TT")
+    query.add_argument("--index", type=int, default=0)
+    query.add_argument("--pattern", help="trajectory pattern, e.g. '? F0_R1[3] ?'")
+    query.add_argument("--at", type=int, help="timestep for a stay query")
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    add_common(experiment)
+    experiment.add_argument(
+        "--name", required=True,
+        choices=["fig8a", "fig8b", "fig8c", "fig9a", "fig9b", "fig9c", "size"],
+        help="which figure/table of the paper to regenerate")
+
+    analytics = sub.add_parser(
+        "analytics", help="MAP route, top-k, uncertainty and visit stats")
+    add_common(analytics)
+    analytics.add_argument("--constraints", default="DU,LT,TT")
+    analytics.add_argument("--index", type=int, default=0)
+    analytics.add_argument("--top", type=int, default=3,
+                           help="how many most-likely routes to print")
+
+    export = sub.add_parser(
+        "export", help="write building / constraints / cleaned graph to disk")
+    add_common(export)
+    export.add_argument("--constraints", default="DU,LT,TT")
+    export.add_argument("--index", type=int, default=0)
+    export.add_argument("--out", required=True,
+                        help="output directory (created if missing)")
+
+    report = sub.add_parser(
+        "report", help="run the full Section 6 evaluation and write a "
+                       "Markdown report")
+    add_common(report)
+    report.add_argument("--out", default="evaluation_report.md",
+                        help="where to write the report")
+    report.add_argument("--both", action="store_true",
+                        help="run SYN1 and SYN2 (default: --dataset only)")
+
+    ql = sub.add_parser(
+        "ql", help="run mini-query-language statements on a cleaned graph")
+    add_common(ql)
+    ql.add_argument("--constraints", default="DU,LT,TT")
+    ql.add_argument("--index", type=int, default=0)
+    ql.add_argument("statements", nargs="+",
+                    help="statements like 'STAY 10', 'MATCH ? F0_R1 ?', "
+                         "'TOP 3', 'ENTROPY'")
+
+    map_cmd = sub.add_parser(
+        "map", help="render a floor plan (optionally with a position estimate)")
+    add_common(map_cmd)
+    map_cmd.add_argument("--floor", type=int, default=0)
+    map_cmd.add_argument("--render-scale", type=float, default=1.0,
+                         help="metres per character")
+    map_cmd.add_argument("--at", type=int,
+                         help="also shade the cleaned position at this "
+                              "timestep (cleans trajectory --index)")
+    map_cmd.add_argument("--constraints", default="DU,LT,TT")
+    map_cmd.add_argument("--index", type=int, default=0)
+    return parser
+
+
+def _load_dataset(args: argparse.Namespace):
+    builder = _DATASETS[args.dataset]
+    return builder(scale=args.scale, seed=args.seed)
+
+
+def _parse_kinds(text: str) -> List[str]:
+    kinds = [token.strip().upper() for token in text.split(",") if token.strip()]
+    return kinds
+
+
+def _cleaned_graph(dataset, args):
+    trajectories = dataset.all_trajectories()
+    if not 0 <= args.index < len(trajectories):
+        raise SystemExit(f"--index must be in [0, {len(trajectories)})")
+    trajectory = trajectories[args.index]
+    kinds = _parse_kinds(args.constraints)
+    constraints = infer_constraints(dataset.building, MotilityProfile(),
+                                    kinds=kinds, distances=dataset.distances)
+    lsequence = LSequence.from_readings(trajectory.readings, dataset.prior)
+    return trajectory, lsequence, build_ct_graph(lsequence, constraints)
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    building = dataset.building
+    print(dataset)
+    print(f"building: {building}")
+    print(f"grid cells: {dataset.grid.num_cells} "
+          f"(cell size {dataset.grid.cell_size} m)")
+    print(f"readers: {len(dataset.readers)}")
+    for duration in dataset.durations:
+        print(f"  duration {duration}: "
+              f"{len(dataset.trajectories[duration])} trajectories")
+    return 0
+
+
+def _command_clean(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    trajectory, lsequence, graph = _cleaned_graph(dataset, args)
+    print(f"trajectory: duration={trajectory.duration}, ground truth visits "
+          f"{len(trajectory.truth.visited_locations())} locations")
+    print(f"l-sequence: {lsequence}")
+    print(f"ct-graph:  {graph}")
+    print(f"valid trajectories represented: {graph.num_valid_trajectories()}")
+    print(f"estimated size: {graph.estimate_size_bytes() / 1024:.0f} kB")
+    truth = tuple(trajectory.truth.locations)
+    print(f"conditioned P(ground truth) = "
+          f"{graph.trajectory_probability(truth):.3e}")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    trajectory, lsequence, graph = _cleaned_graph(dataset, args)
+    truth = tuple(trajectory.truth.locations)
+    did_something = False
+    if args.at is not None:
+        answer = stay_query(graph, args.at)
+        print(f"stay query at {args.at} (truth: {truth[args.at]}):")
+        for location, probability in sorted(answer.items(),
+                                            key=lambda kv: -kv[1])[:5]:
+            print(f"  {location}: {probability:.3f}")
+        did_something = True
+    if args.pattern:
+        query = TrajectoryQuery(args.pattern)
+        probability = query.probability(graph)
+        print(f"trajectory query {args.pattern!r}: "
+              f"yes with p={probability:.3f} "
+              f"(ground truth: {query.matches(truth)})")
+        did_something = True
+    if not did_something:
+        print("nothing to do: pass --at and/or --pattern", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    name = args.name
+    if name in ("fig8a", "fig8b", "size"):
+        measurements = run_cleaning_experiment(dataset)
+        print(cleaning_table(measurements))
+    elif name == "fig8c":
+        measurements = run_query_time_experiment(dataset)
+        print(query_time_table(measurements))
+    elif name == "fig9a":
+        measurements = run_stay_accuracy_experiment(dataset)
+        print(accuracy_table(measurements))
+    elif name == "fig9b":
+        measurements = run_trajectory_accuracy_experiment(dataset)
+        print(accuracy_table(measurements))
+    elif name == "fig9c":
+        measurements = run_trajectory_accuracy_experiment(
+            dataset, by_query_length=True)
+        print(accuracy_table(measurements))
+    return 0
+
+
+def _command_analytics(args: argparse.Namespace) -> int:
+    from repro.queries.analytics import (
+        expected_visit_counts,
+        top_k_trajectories,
+        uncertainty_reduction,
+    )
+
+    dataset = _load_dataset(args)
+    trajectory, lsequence, graph = _cleaned_graph(dataset, args)
+    truth = tuple(trajectory.truth.locations)
+
+    print(f"uncertainty reduction: "
+          f"{uncertainty_reduction(lsequence, graph):.3f} bits/step")
+
+    print(f"\ntop {args.top} most likely routes:")
+    for rank, (route, probability) in enumerate(
+            top_k_trajectories(graph, args.top), start=1):
+        compact = [route[0]]
+        for location in route[1:]:
+            if location != compact[-1]:
+                compact.append(location)
+        marker = " (= ground truth)" if route == truth else ""
+        print(f"  #{rank} p={probability:.3e}: "
+              f"{' -> '.join(compact)}{marker}")
+
+    print("\nexpected time per location (top 5):")
+    totals = expected_visit_counts(graph)
+    for location, steps in sorted(totals.items(), key=lambda kv: -kv[1])[:5]:
+        print(f"  {location:16s} {steps:8.1f} steps")
+    return 0
+
+
+def _command_export(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.io.graphs import save_ctgraph
+    from repro.io.jsonio import (
+        save_building,
+        save_constraints,
+        save_readings,
+        save_trajectory,
+    )
+    from repro.io.matrices import save_matrix
+
+    dataset = _load_dataset(args)
+    trajectory, lsequence, graph = _cleaned_graph(dataset, args)
+    kinds = _parse_kinds(args.constraints)
+    constraints = infer_constraints(dataset.building, MotilityProfile(),
+                                    kinds=kinds, distances=dataset.distances)
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    save_building(dataset.building, out / "building.json")
+    save_constraints(constraints, out / "constraints.json")
+    save_matrix(dataset.calibrated_matrix, out / "matrix.npz")
+    save_readings(trajectory.readings, out / "readings.json")
+    save_trajectory(trajectory.truth, out / "ground_truth.json")
+    save_ctgraph(graph, out / "ctgraph.json")
+    for name in ("building.json", "constraints.json", "matrix.npz",
+                 "readings.json", "ground_truth.json", "ctgraph.json"):
+        print(f"wrote {out / name}")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.suite import render_report, run_full_suite
+
+    if args.both:
+        datasets = [_DATASETS[name](scale=args.scale, seed=args.seed)
+                    for name in sorted(_DATASETS)]
+    else:
+        datasets = [_load_dataset(args)]
+    result = run_full_suite(datasets, scale=args.scale, progress=print)
+    Path(args.out).write_text(render_report(result))
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _command_ql(args: argparse.Namespace) -> int:
+    from repro.queries.ql import execute
+
+    dataset = _load_dataset(args)
+    _, _, graph = _cleaned_graph(dataset, args)
+    for statement in args.statements:
+        result = execute(graph, statement)
+        print(f"> {statement}")
+        print(result.format())
+        print()
+    return 0
+
+
+def _command_map(args: argparse.Namespace) -> int:
+    from repro.viz import render_floor, render_marginal
+
+    dataset = _load_dataset(args)
+    if args.floor not in dataset.building.floors:
+        raise SystemExit(
+            f"--floor must be one of {list(dataset.building.floors)}")
+    print(render_floor(dataset.building, args.floor,
+                       readers=dataset.readers, scale=args.render_scale))
+    if args.at is not None:
+        trajectory, _, graph = _cleaned_graph(dataset, args)
+        if not 0 <= args.at < graph.duration:
+            raise SystemExit(f"--at must be in [0, {graph.duration})")
+        truth = trajectory.truth.locations[args.at]
+        print(f"\ncleaned position estimate at t={args.at} "
+              f"(ground truth: {truth}):")
+        print(render_marginal(dataset.building, args.floor,
+                              graph.location_marginal(args.at),
+                              scale=args.render_scale))
+    return 0
+
+
+_COMMANDS = {
+    "info": _command_info,
+    "clean": _command_clean,
+    "query": _command_query,
+    "experiment": _command_experiment,
+    "analytics": _command_analytics,
+    "export": _command_export,
+    "report": _command_report,
+    "ql": _command_ql,
+    "map": _command_map,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """The console entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`: exit quietly, and point stdout at
+        # devnull so the interpreter's final flush cannot raise again
+        # (the pattern recommended by the Python docs).
+        import os
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

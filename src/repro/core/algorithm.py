@@ -1,0 +1,264 @@
+"""Algorithm 1: building the conditioned-trajectory graph (Section 5).
+
+The construction has two phases.
+
+**Forward** — level by level, every node of timestep ``tau`` is expanded
+with its successors among the prior-compatible locations of ``tau + 1``
+(Definition 3 permitting).  Each created edge carries the a-priori
+probability of its destination's ``(timestep, location)`` pair.  Prior mass
+of next-step locations a node cannot legally reach is simply not covered by
+its outgoing edges — it is the paper's initial ``loss``.
+
+**Backward** — levels are swept from the last timestep down to the sources.
+For every node ``n`` the sweep computes its *survival*::
+
+    S(n) = sum over surviving edges (n, n') of  p_edge * S(n')
+
+(targets have ``S = 1``).  ``S(n)`` is exactly ``1 - loss(n)`` of the
+paper's queue-driven formulation: the fraction of the prior mass of ``n``'s
+continuations that yields valid trajectories.  Nodes with ``S = 0`` are
+deleted (they are the paper's ``loss = 1`` leaves and their ancestors-only-
+of-dead-nodes); every surviving edge is conditioned to
+``p_edge * S(n') / S(n)``, and finally source probabilities are conditioned
+to ``p_prior(n) * S(n) / sum over sources``.
+
+Two deliberate deviations from the printed pseudo-code, both pinned by the
+property tests against the naive enumerator (DESIGN.md §3):
+
+* the printed line 31 normalises ``p_N`` without first damping each source
+  by its own survival ``1 - loss``; the damping is required for path
+  probabilities to equal the conditioned trajectory probabilities (the
+  paper's running example cannot tell the difference because a single
+  source survives there);
+* the backward pass propagates *relative* survivals, rescaled per level so
+  that each level's maximum is 1, instead of the paper's absolute losses.
+  The two are mathematically identical (conditioning only uses survival
+  ratios within a node), but absolute survivals are products over the
+  remaining duration and underflow float64 around a few hundred timesteps,
+  silently turning every node into a ``loss = 1`` casualty.  The rescaled
+  sweep is robust at any duration.
+
+Complexity: with ``S`` the number of node states per timestep and ``L`` the
+per-timestep branching of the l-sequence, the forward phase performs
+``O(duration * S * L)`` state expansions and the backward sweep touches
+every edge exactly once — polynomial in the trajectory length, as the
+paper claims.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.constraints import ConstraintSet
+from repro.core.ctgraph import CTGraph, CTNode
+from repro.core.lsequence import LSequence, ReadingSequence
+from repro.core.nodes import (
+    DepartureFilter,
+    NodeState,
+    _unchecked_successor,
+    source_states,
+)
+from repro.errors import InconsistentReadingsError, ReadingSequenceError
+
+__all__ = ["CleaningOptions", "CleaningStats", "build_ct_graph", "clean"]
+
+#: Policies for stays cut short by the end of the monitoring window.
+TRUNCATED_STAY_POLICIES = ("lenient", "strict")
+
+
+@dataclass(frozen=True)
+class CleaningOptions:
+    """Tunable semantics of the cleaning run.
+
+    ``truncated_stay_policy`` — what to do with a latency-constrained stay
+    that reaches the final timestep before meeting its bound: ``"lenient"``
+    (default, the printed algorithm's behaviour) keeps it, ``"strict"``
+    (Definition 2 read literally) discards it.
+    """
+
+    truncated_stay_policy: str = "lenient"
+
+    def __post_init__(self) -> None:
+        if self.truncated_stay_policy not in TRUNCATED_STAY_POLICIES:
+            raise ReadingSequenceError(
+                f"unknown truncated_stay_policy "
+                f"{self.truncated_stay_policy!r}; "
+                f"expected one of {TRUNCATED_STAY_POLICIES}")
+
+    @property
+    def strict_truncation(self) -> bool:
+        return self.truncated_stay_policy == "strict"
+
+
+@dataclass
+class CleaningStats:
+    """Counters filled in by :func:`build_ct_graph` (attached to the graph)."""
+
+    nodes_created: int = 0
+    nodes_removed: int = 0
+    edges_created: int = 0
+    edges_removed: int = 0
+
+    @property
+    def nodes_kept(self) -> int:
+        return self.nodes_created - self.nodes_removed
+
+    @property
+    def edges_kept(self) -> int:
+        return self.edges_created - self.edges_removed
+
+
+def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
+                   options: CleaningOptions = CleaningOptions()) -> CTGraph:
+    """Run Algorithm 1: the ct-graph of ``lsequence`` under ``constraints``.
+
+    Raises :class:`InconsistentReadingsError` when no trajectory compatible
+    with the l-sequence satisfies the constraints (conditioning undefined).
+    The returned graph carries its :class:`CleaningStats` as ``graph.stats``.
+    """
+    stats = CleaningStats()
+    duration = lsequence.duration
+    last = duration - 1
+
+    # ------------------------------------------------------------------
+    # initialisation: source nodes from the timestep-0 candidates
+    # ------------------------------------------------------------------
+    levels: List[Dict[NodeState, CTNode]] = [{} for _ in range(duration)]
+    prior_source_probability: Dict[CTNode, float] = {}
+    for location, state in source_states(lsequence.support(0), constraints).items():
+        if options.strict_truncation and last == 0 and state[1] is not None:
+            continue
+        node = CTNode(0, *state)
+        levels[0][state] = node
+        prior_source_probability[node] = lsequence.probability(0, location)
+        stats.nodes_created += 1
+    if not levels[0]:
+        raise InconsistentReadingsError(
+            "no source location satisfies the constraints at timestep 0")
+
+    # ------------------------------------------------------------------
+    # forward phase
+    # ------------------------------------------------------------------
+    departure_filter = (DepartureFilter(lsequence, constraints)
+                        if constraints.tt_sources else None)
+    for tau in range(duration - 1):
+        frontier = levels[tau]
+        next_level = levels[tau + 1]
+        candidates = lsequence.candidates(tau + 1)
+        filter_binding = options.strict_truncation and tau + 1 == last
+        # Rule 2 (DU) is hoisted: the reachable candidates are shared by
+        # every node at the same location of this level.
+        reachable: Dict[str, list] = {}
+        for node in frontier.values():
+            location = node.location
+            allowed = reachable.get(location)
+            if allowed is None:
+                allowed = [(destination, probability)
+                           for destination, probability in candidates.items()
+                           if not constraints.forbids_step(location,
+                                                           destination)]
+                reachable[location] = allowed
+            state = (location, node.stay, node.departures)
+            for destination, probability in allowed:
+                successor = _unchecked_successor(tau, state, destination,
+                                                 constraints,
+                                                 departure_filter)
+                if successor is None:
+                    continue
+                if filter_binding and successor[1] is not None:
+                    continue
+                child = next_level.get(successor)
+                if child is None:
+                    child = CTNode(tau + 1, *successor)
+                    next_level[successor] = child
+                    stats.nodes_created += 1
+                node.edges[child] = probability
+                child.parents.append(node)
+                stats.edges_created += 1
+        if not next_level:
+            raise InconsistentReadingsError(
+                f"no trajectory can legally continue past timestep {tau}")
+
+    # ------------------------------------------------------------------
+    # backward phase: survival sweep with per-level rescaling
+    # ------------------------------------------------------------------
+    survival: Dict[CTNode, float] = {node: 1.0 for node in levels[last].values()}
+    for tau in range(last - 1, -1, -1):
+        level = levels[tau]
+        dead: List[NodeState] = []
+        level_max = 0.0
+        for state, node in level.items():
+            mass = 0.0
+            surviving_edges: Dict[CTNode, float] = {}
+            for child, probability in node.edges.items():
+                child_survival = survival.get(child, 0.0)
+                if child_survival > 0.0:
+                    weight = probability * child_survival
+                    surviving_edges[child] = weight
+                    mass += weight
+            if mass <= 0.0:
+                dead.append(state)
+                stats.edges_removed += len(node.edges)
+                node.edges.clear()
+                continue
+            # Condition: each edge's probability becomes its share of the
+            # surviving mass (this is p_edge * S(child) / S(node)).
+            stats.edges_removed += len(node.edges) - len(surviving_edges)
+            node.edges = {child: weight / mass
+                          for child, weight in surviving_edges.items()}
+            survival[node] = mass
+            if mass > level_max:
+                level_max = mass
+        for state in dead:
+            node = level.pop(state)
+            stats.nodes_removed += 1
+        if not level:
+            raise InconsistentReadingsError(
+                "no trajectory compatible with the readings satisfies "
+                "the constraints")
+        # Rescale so the level's largest survival is 1 — conditioning only
+        # ever uses survival ratios, and this keeps float64 from
+        # underflowing on long sequences.
+        if level_max > 0.0:
+            for node in level.values():
+                survival[node] /= level_max
+
+    # Drop now-unreachable bookkeeping: parents entries of removed nodes.
+    for tau in range(1, duration):
+        for node in levels[tau].values():
+            node.parents = [parent for parent in node.parents if parent.edges]
+    # A level-(tau+1) node none of whose parents survived cannot happen:
+    # an alive child forces every parent's survival to be positive through
+    # the connecting edge.  The graph validation in the tests asserts this.
+
+    # ------------------------------------------------------------------
+    # source conditioning (with the survival damping — DESIGN.md §3)
+    # ------------------------------------------------------------------
+    source_probabilities: Dict[CTNode, float] = {}
+    for node in levels[0].values():
+        source_probabilities[node] = (
+            prior_source_probability[node] * survival.get(node, 1.0))
+    total = math.fsum(source_probabilities.values())
+    if total <= 0.0:
+        raise InconsistentReadingsError(
+            "the valid trajectories have zero total prior probability")
+    for node in source_probabilities:
+        source_probabilities[node] /= total
+
+    graph = CTGraph([tuple(level.values()) for level in levels],
+                    source_probabilities)
+    graph.stats = stats
+    return graph
+
+
+def clean(readings: ReadingSequence, prior, constraints: ConstraintSet,
+          options: CleaningOptions = CleaningOptions()) -> CTGraph:
+    """End-to-end cleaning: readings -> l-sequence -> conditioned ct-graph.
+
+    ``prior`` is anything with a ``distribution(readers)`` method, normally
+    a :class:`repro.rfid.priors.PriorModel`.
+    """
+    lsequence = LSequence.from_readings(readings, prior)
+    return build_ct_graph(lsequence, constraints, options)

@@ -1,0 +1,269 @@
+"""The conditioned-trajectory graph (Section 4, Definition 4).
+
+A :class:`CTGraph` is a levelled DAG: level ``tau`` holds the location nodes
+of timestep ``tau``; edges only connect consecutive levels and only pairs
+``(n, n')`` where ``n'`` is a successor of ``n`` (Definition 3).  After
+Algorithm 1 finishes:
+
+* source->target paths correspond one-to-one to the valid trajectories;
+* each non-target node's outgoing edge probabilities form a distribution;
+* the source-node probabilities form a distribution;
+* the probability of a path — source probability times the product of its
+  edge probabilities — equals the conditioned probability
+  ``p*(t | Theta ∧ IC)`` of the corresponding trajectory.
+
+The graph doubles as the query substrate: stay and trajectory queries are
+dynamic programs over the levels (see :mod:`repro.queries`).
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.lsequence import Trajectory
+from repro.core.nodes import Departures
+from repro.errors import QueryError
+
+__all__ = ["CTNode", "CTGraph"]
+
+
+class CTNode:
+    """One location node ``(tau, location, stay, departures)`` of a ct-graph.
+
+    ``edges`` maps each successor node to the (conditioned) probability of
+    taking that edge; ``parents`` lists the predecessor nodes.  Mutable by
+    design — Algorithm 1 builds the graph in place; user code should treat
+    finished nodes as read-only.
+    """
+
+    __slots__ = ("tau", "location", "stay", "departures", "edges", "parents")
+
+    def __init__(self, tau: int, location: str, stay: Optional[int],
+                 departures: Departures) -> None:
+        self.tau = tau
+        self.location = location
+        self.stay = stay
+        self.departures = departures
+        self.edges: Dict["CTNode", float] = {}
+        self.parents: List["CTNode"] = []
+
+    def successor_for(self, location: str) -> Optional["CTNode"]:
+        """The unique successor at ``location``, if the edge exists."""
+        for child in self.edges:
+            if child.location == location:
+                return child
+        return None
+
+    def __repr__(self) -> str:
+        stay = "⊥" if self.stay is None else str(self.stay)
+        return (f"CTNode(tau={self.tau}, loc={self.location!r}, stay={stay}, "
+                f"tl={list(self.departures)}, out={len(self.edges)})")
+
+
+class CTGraph:
+    """A finished conditioned-trajectory graph."""
+
+    def __init__(self, levels: Sequence[Sequence[CTNode]],
+                 source_probabilities: Dict[CTNode, float]) -> None:
+        self._levels: Tuple[Tuple[CTNode, ...], ...] = tuple(
+            tuple(level) for level in levels)
+        self._source_probabilities = dict(source_probabilities)
+        self._node_marginals: Optional[Dict[CTNode, float]] = None
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> int:
+        """The number of timesteps (levels)."""
+        return len(self._levels)
+
+    def level(self, tau: int) -> Tuple[CTNode, ...]:
+        """The nodes of timestep ``tau``."""
+        if not 0 <= tau < len(self._levels):
+            raise QueryError(f"timestep {tau} outside [0, {len(self._levels)})")
+        return self._levels[tau]
+
+    @property
+    def sources(self) -> Tuple[CTNode, ...]:
+        return self._levels[0]
+
+    @property
+    def targets(self) -> Tuple[CTNode, ...]:
+        return self._levels[-1]
+
+    def source_probability(self, node: CTNode) -> float:
+        """The conditioned probability of starting at source ``node``."""
+        return self._source_probabilities.get(node, 0.0)
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(len(level) for level in self._levels)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(node.edges) for level in self._levels for node in level)
+
+    def nodes(self) -> Iterator[CTNode]:
+        """All nodes, level by level."""
+        for level in self._levels:
+            yield from level
+
+    def locations_at(self, tau: int) -> Tuple[str, ...]:
+        """Distinct locations present at timestep ``tau`` (sorted)."""
+        return tuple(sorted({node.location for node in self.level(tau)}))
+
+    # ------------------------------------------------------------------
+    # trajectories and probabilities
+    # ------------------------------------------------------------------
+    def num_valid_trajectories(self) -> int:
+        """How many source->target paths (= valid trajectories) exist."""
+        counts: Dict[CTNode, int] = {node: 1 for node in self.targets}
+        for level in reversed(self._levels[:-1]):
+            for node in level:
+                counts[node] = sum(counts[child] for child in node.edges)
+        return sum(counts[node] for node in self.sources)
+
+    def paths(self) -> Iterator[Tuple[Trajectory, float]]:
+        """Every valid trajectory with its conditioned probability.
+
+        Exponential in general — meant for tests and small graphs.
+        """
+        def walk(node: CTNode, prefix: List[str], probability: float
+                 ) -> Iterator[Tuple[Trajectory, float]]:
+            prefix.append(node.location)
+            if node.tau == self.duration - 1:
+                yield tuple(prefix), probability
+            else:
+                for child, p in node.edges.items():
+                    yield from walk(child, prefix, probability * p)
+            prefix.pop()
+
+        for source in self.sources:
+            yield from walk(source, [], self.source_probability(source))
+
+    def trajectory_probability(self, trajectory: Sequence[str]) -> float:
+        """The conditioned probability of one trajectory (0 if invalid).
+
+        The walk is deterministic: at most one source node per location and
+        at most one successor per (node, location).
+        """
+        if len(trajectory) != self.duration:
+            raise QueryError(
+                f"trajectory has {len(trajectory)} steps, expected {self.duration}")
+        node = None
+        for source in self.sources:
+            if source.location == trajectory[0]:
+                node = source
+                break
+        if node is None:
+            return 0.0
+        probability = self.source_probability(node)
+        for location in trajectory[1:]:
+            step = None
+            for child, p in node.edges.items():
+                if child.location == location:
+                    step = (child, p)
+                    break
+            if step is None:
+                return 0.0
+            node, p = step
+            probability *= p
+        return probability
+
+    def node_marginals(self) -> Dict[CTNode, float]:
+        """For every node, the probability that the object's trajectory
+        passes through it (the forward pass; cached)."""
+        if self._node_marginals is None:
+            alphas: Dict[CTNode, float] = {}
+            for source in self.sources:
+                alphas[source] = self.source_probability(source)
+            for level in self._levels[:-1]:
+                for node in level:
+                    mass = alphas.get(node, 0.0)
+                    if mass == 0.0:
+                        continue
+                    for child, p in node.edges.items():
+                        alphas[child] = alphas.get(child, 0.0) + mass * p
+            self._node_marginals = alphas
+        return self._node_marginals
+
+    def location_marginal(self, tau: int) -> Dict[str, float]:
+        """The distribution of the object's location at timestep ``tau``."""
+        alphas = self.node_marginals()
+        result: Dict[str, float] = {}
+        for node in self.level(tau):
+            mass = alphas.get(node, 0.0)
+            if mass > 0.0:
+                result[node.location] = result.get(node.location, 0.0) + mass
+        return result
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def validate(self, tolerance: float = 1e-6) -> None:
+        """Assert the Definition 4 invariants; raises ``AssertionError``.
+
+        Used by tests and available to cautious callers; O(nodes + edges).
+        """
+        total_sources = math.fsum(self._source_probabilities.values())
+        assert abs(total_sources - 1.0) <= tolerance, (
+            f"source probabilities sum to {total_sources}")
+        for tau, level in enumerate(self._levels):
+            for node in level:
+                assert node.tau == tau, f"node {node!r} filed at level {tau}"
+                if tau < self.duration - 1:
+                    assert node.edges, f"non-target node {node!r} has no successors"
+                    total = math.fsum(node.edges.values())
+                    assert abs(total - 1.0) <= tolerance, (
+                        f"outgoing probabilities of {node!r} sum to {total}")
+                else:
+                    assert not node.edges, f"target node {node!r} has successors"
+                if tau > 0:
+                    assert node.parents, f"non-source node {node!r} is unreachable"
+
+    def to_networkx(self):
+        """The graph as a ``networkx.DiGraph`` for external tooling.
+
+        Nodes are dense integer ids with ``tau``/``location``/``stay``/
+        ``departures``/``source_probability`` attributes; edges carry the
+        conditioned ``probability``.  The conversion is read-only —
+        mutating the result does not touch this graph.
+        """
+        import networkx as nx
+
+        ids = {node: index for index, node in enumerate(self.nodes())}
+        digraph = nx.DiGraph(duration=self.duration)
+        for node, index in ids.items():
+            digraph.add_node(
+                index, tau=node.tau, location=node.location,
+                stay=node.stay, departures=list(node.departures),
+                source_probability=self.source_probability(node))
+        for node, index in ids.items():
+            for child, probability in node.edges.items():
+                digraph.add_edge(index, ids[child], probability=probability)
+        return digraph
+
+    def estimate_size_bytes(self) -> int:
+        """A size estimate of the materialised graph (Section 6.7).
+
+        Counts the Python objects actually held: nodes (including their TL
+        tuples), edge-map entries and parent-list slots.  The absolute
+        number is interpreter-specific; benchmarks only compare ratios.
+        """
+        total = 0
+        for level in self._levels:
+            total += sys.getsizeof(level)
+            for node in level:
+                total += object.__sizeof__(node)
+                total += sys.getsizeof(node.departures)
+                total += 64 * len(node.departures)  # tuple entries + ints
+                total += sys.getsizeof(node.edges) + 16 * len(node.edges)
+                total += sys.getsizeof(node.parents)
+        return total
+
+    def __repr__(self) -> str:
+        return (f"CTGraph(duration={self.duration}, nodes={self.num_nodes}, "
+                f"edges={self.num_edges})")

@@ -1,0 +1,140 @@
+"""Online (streaming) cleaning: ingest readings one at a time.
+
+The batch Algorithm 1 needs the whole reading sequence before it can
+condition.  Deployments, however, receive readings as a stream and want a
+live position estimate.  :class:`IncrementalCleaner` maintains the forward
+frontier of node states under the Definition 3 successor relation:
+
+* :meth:`extend` appends one timestep's candidate distribution (or one
+  reading, via a prior model) and advances the frontier;
+* :meth:`filtered_distribution` returns the *filtered* estimate
+  ``P(X_now | readings so far, constraints held so far)`` — the standard
+  online quantity (it conditions on validity of the prefix only, so it
+  will generally differ from the final smoothed marginal);
+* :meth:`finalize` runs the full backward conditioning and returns the
+  exact ct-graph — identical, path for path and probability for
+  probability, to the batch algorithm run on the whole sequence (a
+  property the tests assert).
+
+One caveat: the exact ``TL`` pruning of the batch algorithm
+(:class:`repro.core.nodes.DepartureFilter`) needs the *future* support and
+is therefore unavailable online; the live frontier can carry more node
+states than the batch forward phase would.  Probabilities are unaffected.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping
+
+from repro.core.algorithm import CleaningOptions, build_ct_graph
+from repro.core.constraints import ConstraintSet
+from repro.core.ctgraph import CTGraph
+from repro.core.lsequence import LSequence
+from repro.core.nodes import NodeState, source_states, successor_state
+from repro.errors import InconsistentReadingsError, ReadingSequenceError
+
+__all__ = ["IncrementalCleaner"]
+
+_PROBABILITY_FLOOR = 1e-15
+
+
+class IncrementalCleaner:
+    """Streaming cleaning: a live frontier plus exact on-demand conditioning."""
+
+    def __init__(self, constraints: ConstraintSet,
+                 options: CleaningOptions = CleaningOptions(),
+                 prior=None) -> None:
+        self.constraints = constraints
+        self.options = options
+        self.prior = prior
+        self._rows: List[Dict[str, float]] = []
+        # Unnormalised filtered mass per frontier node state.
+        self._frontier: Dict[NodeState, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> int:
+        """How many timesteps have been ingested."""
+        return len(self._rows)
+
+    def extend_reading(self, readers) -> None:
+        """Append one raw reading (requires a ``prior`` at construction)."""
+        if self.prior is None:
+            raise ReadingSequenceError(
+                "extend_reading needs a prior model; pass prior= to the "
+                "constructor or use extend() with a distribution")
+        self.extend(self.prior.distribution(readers))
+
+    def extend(self, candidates: Mapping[str, float]) -> None:
+        """Append one timestep's location distribution and advance.
+
+        Raises :class:`InconsistentReadingsError` when no valid
+        continuation exists (the stream contradicts the constraints); the
+        cleaner's state is unchanged in that case, so the caller may drop
+        the offending reading and continue.
+        """
+        row = {location: float(p) for location, p in candidates.items()
+               if p > _PROBABILITY_FLOOR}
+        if not row:
+            raise ReadingSequenceError(
+                f"timestep {self.duration}: no location has positive "
+                "probability")
+        total = math.fsum(row.values())
+        row = {location: p / total for location, p in row.items()}
+
+        tau = self.duration
+        frontier: Dict[NodeState, float] = {}
+        if tau == 0:
+            for location, state in source_states(row, self.constraints).items():
+                frontier[state] = row[location]
+        else:
+            for state, mass in self._frontier.items():
+                for destination, probability in row.items():
+                    successor = successor_state(tau - 1, state, destination,
+                                                self.constraints)
+                    if successor is not None:
+                        frontier[successor] = (frontier.get(successor, 0.0)
+                                               + mass * probability)
+            # Rescale to ward off underflow on long streams (only ratios
+            # matter for the filtered distribution).
+            peak = max(frontier.values(), default=0.0)
+            if peak > 0.0:
+                frontier = {state: mass / peak
+                            for state, mass in frontier.items()}
+        if not frontier:
+            raise InconsistentReadingsError(
+                f"no valid continuation at timestep {tau}")
+        self._rows.append(row)
+        self._frontier = frontier
+
+    # ------------------------------------------------------------------
+    def filtered_distribution(self) -> Dict[str, float]:
+        """``P(X_now | readings so far, prefix validity)`` — the live estimate."""
+        if not self._rows:
+            raise ReadingSequenceError("no readings ingested yet")
+        raw: Dict[str, float] = {}
+        for (location, _stay, _departures), mass in self._frontier.items():
+            raw[location] = raw.get(location, 0.0) + mass
+        total = math.fsum(raw.values())
+        return {location: mass / total for location, mass in raw.items()}
+
+    def frontier_size(self) -> int:
+        """How many node states the live frontier carries."""
+        return len(self._frontier)
+
+    def lsequence(self) -> LSequence:
+        """The l-sequence accumulated so far (a copy)."""
+        if not self._rows:
+            raise ReadingSequenceError("no readings ingested yet")
+        return LSequence([dict(row) for row in self._rows], _validate=False)
+
+    def finalize(self) -> CTGraph:
+        """Close the stream: run the exact conditioning, return the ct-graph.
+
+        Equals the batch algorithm's output on the accumulated sequence.
+        The cleaner keeps its state — more readings can be appended after
+        this call and :meth:`finalize` called again.
+        """
+        return build_ct_graph(self.lsequence(), self.constraints,
+                              self.options)

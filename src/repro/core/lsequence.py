@@ -1,0 +1,202 @@
+"""Readings and probabilistic location sequences (Section 2).
+
+A :class:`Reading` is the raw RFID datum ``(timestamp, set of readers)``.
+A :class:`ReadingSequence` is one reading per timestep of the monitoring
+interval ``T = [0, n)``.  An :class:`LSequence` is the paper's *l-sequence*
+``Gamma = (Lambda, p)``: for every timestep, the locations compatible with
+the reading at that timestep together with their a-priori probabilities
+(the PDF of the random variable ``X_theta``).
+
+L-sequences are the input of the cleaning algorithm; they can be produced
+from readings through a :class:`~repro.rfid.priors.PriorModel`
+(:meth:`LSequence.from_readings`) or written directly in tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ReadingSequenceError
+
+__all__ = ["Reading", "ReadingSequence", "LSequence", "Trajectory"]
+
+#: A deterministic trajectory: one location name per timestep.
+Trajectory = Tuple[str, ...]
+
+#: Probabilities smaller than this are treated as zero when building
+#: l-sequences (guards against float dust produced by the prior model).
+_PROBABILITY_FLOOR = 1e-15
+
+
+@dataclass(frozen=True)
+class Reading:
+    """One raw datum: at ``time``, the object was detected by exactly ``readers``."""
+
+    time: int
+    readers: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ReadingSequenceError(f"negative timestamp: {self.time}")
+        if not isinstance(self.readers, frozenset):
+            object.__setattr__(self, "readers", frozenset(self.readers))
+
+    def __str__(self) -> str:
+        names = ", ".join(sorted(self.readers)) or "-"
+        return f"({self.time}, {{{names}}})"
+
+
+class ReadingSequence:
+    """One reading per timestep over ``T = [0, n)``."""
+
+    def __init__(self, readings: Iterable[Reading]) -> None:
+        ordered = sorted(readings, key=lambda r: r.time)
+        if not ordered:
+            raise ReadingSequenceError("a reading sequence cannot be empty")
+        times = [reading.time for reading in ordered]
+        if times[0] != 0 or times != list(range(len(times))):
+            raise ReadingSequenceError(
+                "readings must cover every timestep 0..n-1 exactly once, got "
+                f"timestamps {times[:10]}{'...' if len(times) > 10 else ''}")
+        self._readings: Tuple[Reading, ...] = tuple(ordered)
+
+    @classmethod
+    def from_reader_sets(cls, reader_sets: Sequence[Iterable[str]]) -> "ReadingSequence":
+        """Build from a list of reader sets, one per timestep starting at 0."""
+        return cls(Reading(time, frozenset(readers))
+                   for time, readers in enumerate(reader_sets))
+
+    def __len__(self) -> int:
+        return len(self._readings)
+
+    def __iter__(self) -> Iterator[Reading]:
+        return iter(self._readings)
+
+    def __getitem__(self, time: int) -> Reading:
+        return self._readings[time]
+
+    @property
+    def duration(self) -> int:
+        """The number of timesteps in the monitoring interval."""
+        return len(self._readings)
+
+    def __repr__(self) -> str:
+        return f"ReadingSequence(duration={self.duration})"
+
+
+class LSequence:
+    """The probabilistic l-sequence ``Gamma = (Lambda, p)``.
+
+    ``candidates[tau]`` maps every location compatible with the reading at
+    ``tau`` to its a-priori probability; entries are strictly positive and
+    each timestep's entries sum to 1 (validated at construction).
+    """
+
+    def __init__(self, candidates: Sequence[Mapping[str, float]], *,
+                 _validate: bool = True) -> None:
+        if not candidates:
+            raise ReadingSequenceError("an l-sequence cannot be empty")
+        cleaned: List[Dict[str, float]] = []
+        for tau, row in enumerate(candidates):
+            entries = {loc: float(p) for loc, p in row.items()
+                       if p > _PROBABILITY_FLOOR}
+            if not entries:
+                raise ReadingSequenceError(
+                    f"timestep {tau}: no location has positive probability")
+            if _validate:
+                total = math.fsum(entries.values())
+                if abs(total - 1.0) > 1e-6:
+                    raise ReadingSequenceError(
+                        f"timestep {tau}: probabilities sum to {total}, not 1")
+                # Renormalise away the (tiny, already-validated) drift so the
+                # cleaning arithmetic starts from an exact distribution.
+                entries = {loc: p / total for loc, p in entries.items()}
+            cleaned.append(entries)
+        self._candidates: Tuple[Dict[str, float], ...] = tuple(cleaned)
+
+    @classmethod
+    def from_readings(cls, readings: ReadingSequence, prior) -> "LSequence":
+        """Interpret a reading sequence through a prior model.
+
+        ``prior`` is anything with a ``distribution(readers) -> dict`` method
+        (normally a :class:`repro.rfid.priors.PriorModel`).
+        """
+        return cls([prior.distribution(reading.readers) for reading in readings],
+                   _validate=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> int:
+        """The number of timesteps."""
+        return len(self._candidates)
+
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    def candidates(self, tau: int) -> Dict[str, float]:
+        """Locations compatible with timestep ``tau`` and their priors.
+
+        The returned dict is the internal one — callers must not mutate it.
+        """
+        try:
+            return self._candidates[tau]
+        except IndexError:
+            raise ReadingSequenceError(
+                f"timestep {tau} outside [0, {self.duration})") from None
+
+    def support(self, tau: int) -> Tuple[str, ...]:
+        """The locations with positive probability at ``tau``."""
+        return tuple(self.candidates(tau))
+
+    def probability(self, tau: int, location: str) -> float:
+        """The a-priori probability of ``location`` at ``tau`` (0 if absent)."""
+        return self.candidates(tau).get(location, 0.0)
+
+    def num_trajectories(self) -> int:
+        """How many trajectories the l-sequence admits (product of supports)."""
+        count = 1
+        for row in self._candidates:
+            count *= len(row)
+        return count
+
+    def trajectories(self) -> Iterator[Tuple[Trajectory, float]]:
+        """Every trajectory with its a-priori probability.
+
+        Exponential in the duration — the naive baseline and the tests use
+        this on tiny instances only.
+        """
+        supports = [sorted(row) for row in self._candidates]
+        for combo in itertools.product(*supports):
+            prob = 1.0
+            for tau, loc in enumerate(combo):
+                prob *= self._candidates[tau][loc]
+            yield tuple(combo), prob
+
+    def trajectory_prior(self, trajectory: Sequence[str]) -> float:
+        """The a-priori probability of one trajectory (0 if incompatible)."""
+        if len(trajectory) != self.duration:
+            raise ReadingSequenceError(
+                f"trajectory has {len(trajectory)} steps, expected {self.duration}")
+        prob = 1.0
+        for tau, loc in enumerate(trajectory):
+            p = self._candidates[tau].get(loc, 0.0)
+            if p == 0.0:
+                return 0.0
+            prob *= p
+        return prob
+
+    def __repr__(self) -> str:
+        branching = max(len(row) for row in self._candidates)
+        return f"LSequence(duration={self.duration}, max_branching={branching})"

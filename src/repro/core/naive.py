@@ -1,0 +1,80 @@
+"""Exact conditioning by enumeration — the baseline Algorithm 1 must match.
+
+The naive approach the paper describes (and dismisses as infeasible at
+scale): enumerate every trajectory compatible with the l-sequence, discard
+the invalid ones (Definition 2), and renormalise the survivors' a-priori
+probabilities.  Exponential in the duration, but exact — it is the oracle
+for the correctness tests and the comparator for the crossover ablation
+benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.constraints import ConstraintSet
+from repro.core.lsequence import LSequence, Trajectory
+from repro.core.validity import is_valid_trajectory
+from repro.errors import InconsistentReadingsError, ReadingSequenceError
+
+__all__ = ["NaiveConditioner"]
+
+#: Refuse to enumerate more than this many trajectories by default.
+DEFAULT_ENUMERATION_LIMIT = 2_000_000
+
+
+class NaiveConditioner:
+    """Exact conditioned distribution over valid trajectories, by enumeration.
+
+    Parameters mirror :class:`repro.core.algorithm.CleaningOptions` where
+    they affect semantics (the truncated-stay policy).
+    """
+
+    def __init__(self, lsequence: LSequence, constraints: ConstraintSet, *,
+                 strict_truncation: bool = False,
+                 enumeration_limit: Optional[int] = DEFAULT_ENUMERATION_LIMIT) -> None:
+        size = lsequence.num_trajectories()
+        if enumeration_limit is not None and size > enumeration_limit:
+            raise ReadingSequenceError(
+                f"l-sequence admits {size} trajectories, more than the "
+                f"enumeration limit {enumeration_limit}; use the ct-graph "
+                "algorithm instead")
+        self.lsequence = lsequence
+        self.constraints = constraints
+        self.strict_truncation = strict_truncation
+        self._conditioned: Optional[Dict[Trajectory, float]] = None
+
+    def valid_trajectories(self) -> Iterator[Tuple[Trajectory, float]]:
+        """Valid trajectories with their *a-priori* probabilities."""
+        for trajectory, prior in self.lsequence.trajectories():
+            if is_valid_trajectory(trajectory, self.constraints,
+                                   strict_truncation=self.strict_truncation):
+                yield trajectory, prior
+
+    def conditioned_distribution(self) -> Dict[Trajectory, float]:
+        """Trajectory -> conditioned probability ``p*(t | IC)`` (cached).
+
+        Raises :class:`InconsistentReadingsError` when no valid trajectory
+        exists, matching the ct-graph algorithm.
+        """
+        if self._conditioned is None:
+            priors = dict(self.valid_trajectories())
+            total = sum(priors.values())
+            if not priors or total <= 0.0:
+                raise InconsistentReadingsError(
+                    "no trajectory compatible with the readings satisfies "
+                    "the constraints")
+            self._conditioned = {t: p / total for t, p in priors.items()}
+        return self._conditioned
+
+    def probability(self, trajectory: Trajectory) -> float:
+        """The conditioned probability of one trajectory (0 if invalid)."""
+        return self.conditioned_distribution().get(tuple(trajectory), 0.0)
+
+    def location_marginal(self, tau: int) -> Dict[str, float]:
+        """The conditioned distribution of the location at timestep ``tau``."""
+        marginal: Dict[str, float] = {}
+        for trajectory, probability in self.conditioned_distribution().items():
+            location = trajectory[tau]
+            marginal[location] = marginal.get(location, 0.0) + probability
+        return marginal

@@ -1,0 +1,116 @@
+"""Trajectory validity under integrity constraints (Definition 2).
+
+This is the ground-truth semantics: a direct, readable implementation used
+by the naive conditioner, the tests (which pin Algorithm 1 against it) and
+by callers who want to check a single concrete trajectory.
+
+The same two interpretation choices as :mod:`repro.core.nodes` apply
+(DESIGN.md §3): TT constraints bind between the *last* timestep spent at
+the source and the *first* subsequent timestep spent at the destination
+(which is exactly Definition 2 read literally), and the treatment of
+latency-constrained stays cut short by the end of the monitoring window is
+selected by the ``truncated_stay_policy``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core.constraints import ConstraintSet
+
+__all__ = ["is_valid_trajectory", "violations", "stays_of"]
+
+
+def stays_of(trajectory: Sequence[str]) -> Iterator[Tuple[int, str, int]]:
+    """The maximal stays of a trajectory as ``(start, location, length)``."""
+    if not trajectory:
+        return
+    start = 0
+    for tau in range(1, len(trajectory)):
+        if trajectory[tau] != trajectory[start]:
+            yield start, trajectory[start], tau - start
+            start = tau
+    yield start, trajectory[start], len(trajectory) - start
+
+
+def violations(trajectory: Sequence[str], constraints: ConstraintSet,
+               *, strict_truncation: bool = False) -> List[str]:
+    """Every constraint violation of ``trajectory``, as human-readable strings.
+
+    An empty list means the trajectory is valid.  ``strict_truncation``
+    selects the literal Definition 2 reading for final stays cut short by
+    the window end (see DESIGN.md §3).
+    """
+    found: List[str] = []
+    n = len(trajectory)
+
+    # DU: consecutive steps.
+    for tau in range(n - 1):
+        here, there = trajectory[tau], trajectory[tau + 1]
+        if constraints.forbids_step(here, there):
+            found.append(
+                f"unreachable({here}, {there}) violated at step {tau}->{tau + 1}")
+
+    # LT: every maximal stay must meet its location's bound.
+    for start, location, length in stays_of(trajectory):
+        bound = constraints.latency_of(location)
+        if bound is None or length >= bound:
+            continue
+        runs_to_end = start + length == n
+        if runs_to_end and not strict_truncation:
+            continue
+        found.append(
+            f"latency({location}, {bound}) violated by the {length}-step "
+            f"stay starting at {start}")
+
+    # TT: for every arrival, look back at the last stay at each constrained
+    # source.  Definition 2 quantifies over all pairs of timesteps, but the
+    # binding pair is always (last timestep at source, first timestep at
+    # destination), which is what this scan checks.
+    last_seen = {}
+    previous = None
+    for tau, location in enumerate(trajectory):
+        if previous is not None and previous != location:
+            last_seen[previous] = tau - 1
+        if location != previous:
+            for source, steps in constraints.traveling_times_into(location):
+                departed = last_seen.get(source)
+                if departed is not None and tau - departed < steps:
+                    found.append(
+                        f"travelingTime({source}, {location}, {steps}) "
+                        f"violated: left {source} at {departed}, reached "
+                        f"{location} at {tau}")
+        previous = location
+    return found
+
+
+def is_valid_trajectory(trajectory: Sequence[str], constraints: ConstraintSet,
+                        *, strict_truncation: bool = False) -> bool:
+    """Whether ``trajectory`` satisfies every constraint (Definition 2)."""
+    n = len(trajectory)
+
+    for tau in range(n - 1):
+        if constraints.forbids_step(trajectory[tau], trajectory[tau + 1]):
+            return False
+
+    if constraints.latency_bounds:
+        for start, location, length in stays_of(trajectory):
+            bound = constraints.latency_of(location)
+            if bound is None or length >= bound:
+                continue
+            if start + length == n and not strict_truncation:
+                continue
+            return False
+
+    last_seen = {}
+    previous = None
+    for tau, location in enumerate(trajectory):
+        if previous is not None and previous != location:
+            last_seen[previous] = tau - 1
+        if location != previous:
+            for source, steps in constraints.traveling_times_into(location):
+                departed = last_seen.get(source)
+                if departed is not None and tau - departed < steps:
+                    return False
+        previous = location
+    return True

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the rfid-ctg library.
+
+All library-specific failures derive from :class:`ReproError`, so callers can
+catch a single type at an API boundary while tests can assert the precise
+subtype.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "MapModelError",
+    "UnknownLocationError",
+    "CalibrationError",
+    "ConstraintError",
+    "ReadingSequenceError",
+    "InconsistentReadingsError",
+    "PatternSyntaxError",
+    "QueryError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class MapModelError(ReproError):
+    """An invalid building/map description (overlapping rooms, bad doors...)."""
+
+
+class UnknownLocationError(MapModelError):
+    """A location name was used that does not exist on the map."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown location: {name!r}")
+        self.name = name
+
+
+class CalibrationError(ReproError):
+    """The reader-calibration matrix is malformed or inconsistent."""
+
+
+class ConstraintError(ReproError):
+    """An integrity constraint is malformed (bad locations, negative times...)."""
+
+
+class ReadingSequenceError(ReproError):
+    """A reading sequence is malformed (gaps, duplicate timestamps...)."""
+
+
+class InconsistentReadingsError(ReproError):
+    """No trajectory compatible with the readings satisfies the constraints.
+
+    Conditioning is undefined in this case (the valid prior mass is zero);
+    both the ct-graph algorithm and the naive enumerator raise this error.
+    """
+
+
+class PatternSyntaxError(ReproError):
+    """A trajectory-query pattern string could not be parsed."""
+
+
+class QueryError(ReproError):
+    """A query is invalid for the graph it is evaluated on (e.g. bad timestamp)."""

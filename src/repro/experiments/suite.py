@@ -1,0 +1,171 @@
+"""The full evaluation in one call: run every experiment, write a report.
+
+:func:`run_full_suite` regenerates all of the paper's Section 6 content
+(Figs. 8a-c, 9a-c, the Section 6.7 size discussion) on the requested
+datasets and renders one self-contained Markdown report — the programmatic
+equivalent of running every ``benchmarks/bench_fig*.py`` module, minus
+pytest.  The CLI exposes it as ``rfid-ctg report``.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.harness import (
+    AccuracyMeasurement,
+    CleaningMeasurement,
+    QueryTimeMeasurement,
+    run_cleaning_experiment,
+    run_query_time_experiment,
+    run_stay_accuracy_experiment,
+    run_trajectory_accuracy_experiment,
+)
+from repro.experiments.report import (
+    accuracy_table,
+    cleaning_table,
+    query_time_table,
+)
+from repro.simulation.datasets import Dataset
+
+__all__ = ["SuiteResult", "run_full_suite", "render_report"]
+
+
+@dataclass
+class SuiteResult:
+    """Every measurement of one full evaluation run."""
+
+    scale: str
+    cleaning: List[CleaningMeasurement] = field(default_factory=list)
+    query_times: List[QueryTimeMeasurement] = field(default_factory=list)
+    stay_accuracy: List[AccuracyMeasurement] = field(default_factory=list)
+    trajectory_accuracy: List[AccuracyMeasurement] = field(default_factory=list)
+    accuracy_by_length: List[AccuracyMeasurement] = field(default_factory=list)
+
+
+def run_full_suite(datasets: Sequence[Dataset], *, scale: str = "custom",
+                   stay_queries: int = 50, trajectory_queries: int = 25,
+                   progress=None) -> SuiteResult:
+    """Run the complete Section 6 evaluation over ``datasets``.
+
+    ``progress`` is an optional callable receiving one status string per
+    stage (the CLI passes ``print``).
+    """
+    def report(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    result = SuiteResult(scale=scale)
+    for dataset in datasets:
+        report(f"[{dataset.name}] cleaning sweep (Fig. 8a/8b + Sec. 6.7)")
+        result.cleaning.extend(run_cleaning_experiment(dataset))
+        report(f"[{dataset.name}] query-time sweep (Fig. 8c)")
+        result.query_times.extend(run_query_time_experiment(
+            dataset, stay_queries=10, trajectory_queries=5))
+        report(f"[{dataset.name}] stay accuracy (Fig. 9a)")
+        result.stay_accuracy.extend(run_stay_accuracy_experiment(
+            dataset, queries_per_trajectory=stay_queries))
+        report(f"[{dataset.name}] trajectory accuracy (Fig. 9b)")
+        result.trajectory_accuracy.extend(run_trajectory_accuracy_experiment(
+            dataset, queries_per_trajectory=trajectory_queries))
+    if datasets:
+        last = datasets[-1]
+        report(f"[{last.name}] accuracy by query length (Fig. 9c)")
+        result.accuracy_by_length.extend(run_trajectory_accuracy_experiment(
+            last, queries_per_trajectory=trajectory_queries,
+            by_query_length=True, visited_bias=0.5))
+    return result
+
+
+def render_report(result: SuiteResult) -> str:
+    """The suite result as a self-contained Markdown document."""
+    lines: List[str] = []
+    lines.append("# rfid-ctg evaluation report")
+    lines.append("")
+    lines.append(f"- scale: `{result.scale}`")
+    lines.append(f"- python: {sys.version.split()[0]} on "
+                 f"{platform.system().lower()}")
+    lines.append("")
+
+    def section(title: str, body: str) -> None:
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(body)
+        lines.append("```")
+        lines.append("")
+
+    if result.cleaning:
+        section("Cleaning cost (Fig. 8a/8b) and graph size (Sec. 6.7)",
+                cleaning_table(result.cleaning))
+    if result.query_times:
+        section("Query time (Fig. 8c)", query_time_table(result.query_times))
+    if result.stay_accuracy:
+        section("Stay-query accuracy (Fig. 9a)",
+                accuracy_table(result.stay_accuracy))
+    if result.trajectory_accuracy:
+        section("Trajectory-query accuracy (Fig. 9b)",
+                accuracy_table(result.trajectory_accuracy))
+    if result.accuracy_by_length:
+        section("Accuracy by query length (Fig. 9c, hard workload)",
+                accuracy_table(result.accuracy_by_length))
+
+    lines.append("## Shape checklist")
+    lines.append("")
+    lines.extend(_shape_checklist(result))
+    return "\n".join(lines)
+
+
+def _shape_checklist(result: SuiteResult) -> List[str]:
+    """Automated pass/fail lines for the paper's qualitative claims."""
+    checks: List[str] = []
+
+    def check(name: str, ok: Optional[bool]) -> None:
+        if ok is None:
+            checks.append(f"- {name}: n/a")
+        else:
+            checks.append(f"- {name}: {'PASS' if ok else 'FAIL'}")
+
+    by_config: Dict[str, List[CleaningMeasurement]] = {}
+    for m in result.cleaning:
+        by_config.setdefault(m.config, []).append(m)
+    if {"CTG(DU)", "CTG(DU,LT,TT)"} <= set(by_config):
+        du = sum(m.mean_seconds for m in by_config["CTG(DU)"])
+        full = sum(m.mean_seconds for m in by_config["CTG(DU,LT,TT)"])
+        check("cleaning cost DU <= DU+LT+TT", du <= full)
+        du_size = sum(m.mean_bytes for m in by_config["CTG(DU)"])
+        full_size = sum(m.mean_bytes for m in by_config["CTG(DU,LT,TT)"])
+        check("graph size DU <= DU+LT+TT", du_size <= full_size)
+    else:
+        check("cleaning cost DU <= DU+LT+TT", None)
+
+    stay: Dict[str, List[float]] = {}
+    for m in result.stay_accuracy:
+        stay.setdefault(m.config, []).append(m.accuracy)
+    if {"RAW", "CTG(DU,LT,TT)"} <= set(stay):
+        raw = sum(stay["RAW"]) / len(stay["RAW"])
+        full = sum(stay["CTG(DU,LT,TT)"]) / len(stay["CTG(DU,LT,TT)"])
+        check("stay accuracy RAW < CTG(DU,LT,TT)", raw < full)
+    else:
+        check("stay accuracy RAW < CTG(DU,LT,TT)", None)
+
+    trajectory: Dict[str, List[float]] = {}
+    for m in result.trajectory_accuracy:
+        trajectory.setdefault(m.config, []).append(m.accuracy)
+    if {"RAW", "CTG(DU,LT,TT)"} <= set(trajectory):
+        raw = sum(trajectory["RAW"]) / len(trajectory["RAW"])
+        full = (sum(trajectory["CTG(DU,LT,TT)"])
+                / len(trajectory["CTG(DU,LT,TT)"]))
+        check("trajectory accuracy RAW <= CTG(DU,LT,TT) (+0.02 slack)",
+              raw <= full + 0.02)
+    else:
+        check("trajectory accuracy RAW <= CTG(DU,LT,TT)", None)
+    return checks
+
+
+def write_report(result: SuiteResult, path) -> None:
+    """Render and write the Markdown report."""
+    Path(path).write_text(render_report(result))

@@ -1,0 +1,91 @@
+"""Query workload generators (Section 6.6).
+
+The paper's workloads:
+
+* **stay queries** — 100 per trajectory, each over a uniformly random
+  timestep of the trajectory;
+* **trajectory queries** — 50 per trajectory; each pattern is
+  ``? l1[n1] ? l2[n2] ? ... ?`` with ``x`` locations, ``x`` uniform in
+  {2, 3, 4}, each ``l_i`` uniform over the map's locations and each ``n_i``
+  uniform in {-1, 3, 5, 7, 9} (``-1`` meaning the bare ``l`` condition).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.mapmodel.building import Building
+from repro.queries.pattern import Pattern
+
+__all__ = [
+    "STAY_QUERIES_PER_TRAJECTORY",
+    "TRAJECTORY_QUERIES_PER_TRAJECTORY",
+    "random_stay_queries",
+    "random_trajectory_queries",
+]
+
+#: The paper's workload sizes.
+STAY_QUERIES_PER_TRAJECTORY = 100
+TRAJECTORY_QUERIES_PER_TRAJECTORY = 50
+
+#: The paper's run-length alternatives (-1 = bare ``l`` condition).
+_RUN_LENGTHS = (-1, 3, 5, 7, 9)
+_QUERY_LENGTHS = (2, 3, 4)
+
+
+def random_stay_queries(duration: int,
+                        count: int = STAY_QUERIES_PER_TRAJECTORY,
+                        rng: Optional[np.random.Generator] = None) -> List[int]:
+    """``count`` random timesteps within ``[0, duration)``."""
+    if rng is None:
+        rng = np.random.default_rng()
+    return [int(t) for t in rng.integers(0, duration, size=count)]
+
+
+def random_trajectory_query(building: Building,
+                            rng: np.random.Generator,
+                            num_locations: Optional[int] = None,
+                            visited: Optional[Sequence[str]] = None,
+                            visited_bias: float = 0.0) -> Pattern:
+    """One paper-style pattern ``? l1[n1] ? ... ?``.
+
+    ``num_locations`` pins the number of location conditions (the paper's
+    query length) — Fig. 9(c) buckets accuracy by it; ``None`` draws it
+    uniformly from {2, 3, 4}.
+
+    ``visited``/``visited_bias`` build *harder* workloads: each location is
+    drawn from ``visited`` (the trajectory's ground-truth locations) with
+    probability ``visited_bias``, from the whole map otherwise.  The
+    paper's workload is ``visited_bias = 0`` (uniform over the map); a bias
+    makes "yes" answers common enough that accuracy becomes informative on
+    large maps.
+    """
+    names = building.location_names
+    if num_locations is None:
+        num_locations = int(rng.choice(_QUERY_LENGTHS))
+    picks = []
+    for _ in range(num_locations):
+        if visited and rng.random() < visited_bias:
+            picks.append(visited[int(rng.integers(0, len(visited)))])
+        else:
+            picks.append(names[int(rng.integers(0, len(names)))])
+    runs = [int(rng.choice(_RUN_LENGTHS)) for _ in range(num_locations)]
+    return Pattern.visits(*picks, min_runs=[1 if n < 0 else n for n in runs])
+
+
+def random_trajectory_queries(building: Building,
+                              count: int = TRAJECTORY_QUERIES_PER_TRAJECTORY,
+                              rng: Optional[np.random.Generator] = None,
+                              num_locations: Optional[int] = None,
+                              visited: Optional[Sequence[str]] = None,
+                              visited_bias: float = 0.0,
+                              ) -> List[Pattern]:
+    """``count`` independent paper-style patterns."""
+    if rng is None:
+        rng = np.random.default_rng()
+    return [random_trajectory_query(building, rng, num_locations,
+                                    visited=visited,
+                                    visited_bias=visited_bias)
+            for _ in range(count)]

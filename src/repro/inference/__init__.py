@@ -1,0 +1,24 @@
+"""Automatic inference of integrity constraints from a map (Section 6.3).
+
+The paper stresses (footnote 1) that DU and TT constraints do not require
+domain expertise: DU constraints follow from the map's structure, TT
+constraints from minimum walking distances and the maximum speed of the
+monitored objects.  This package implements that inference; the only inputs
+are the :class:`~repro.mapmodel.building.Building` and a motility profile.
+"""
+
+from repro.inference.infer import (
+    MotilityProfile,
+    infer_constraints,
+    infer_du_constraints,
+    infer_lt_constraints,
+    infer_tt_constraints,
+)
+
+__all__ = [
+    "MotilityProfile",
+    "infer_constraints",
+    "infer_du_constraints",
+    "infer_tt_constraints",
+    "infer_lt_constraints",
+]

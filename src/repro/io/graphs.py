@@ -1,0 +1,89 @@
+"""Exporting ct-graphs: JSON archives and Graphviz DOT.
+
+A serialized ct-graph is self-contained: node states, edges with
+conditioned probabilities, and source probabilities.  The JSON form feeds
+downstream tooling (and the Lahar-style warehousing the paper points to);
+the DOT form is for eyeballing small graphs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.ctgraph import CTGraph
+
+__all__ = ["ctgraph_to_dict", "save_ctgraph", "ctgraph_to_dot"]
+
+PathLike = Union[str, Path]
+
+
+def ctgraph_to_dict(graph: CTGraph) -> Dict:
+    """The JSON-ready representation of a finished ct-graph.
+
+    Nodes get dense ids level by level; states are stored explicitly so
+    the archive is interpretable without this library.
+    """
+    ids = {node: index for index, node in enumerate(graph.nodes())}
+    return {
+        "format": "rfid-ctg/ctgraph@1",
+        "duration": graph.duration,
+        "nodes": [
+            {
+                "id": ids[node],
+                "tau": node.tau,
+                "location": node.location,
+                "stay": node.stay,
+                "departures": [[t, l] for t, l in node.departures],
+            }
+            for node in graph.nodes()
+        ],
+        "edges": [
+            {"from": ids[node], "to": ids[child], "p": probability}
+            for node in graph.nodes()
+            for child, probability in node.edges.items()
+        ],
+        "sources": [
+            {"id": ids[node], "p": graph.source_probability(node)}
+            for node in graph.sources
+        ],
+    }
+
+
+def save_ctgraph(graph: CTGraph, path: PathLike) -> None:
+    """Write a ct-graph archive as JSON."""
+    Path(path).write_text(json.dumps(ctgraph_to_dict(graph)))
+
+
+def ctgraph_to_dot(graph: CTGraph, max_nodes: int = 400) -> str:
+    """A Graphviz DOT rendering of the graph (small graphs only).
+
+    Raises ``ValueError`` for graphs above ``max_nodes`` — DOT output for
+    huge graphs helps nobody.
+    """
+    if graph.num_nodes > max_nodes:
+        raise ValueError(
+            f"graph has {graph.num_nodes} nodes; DOT export is capped at "
+            f"{max_nodes} (raise max_nodes explicitly if you mean it)")
+    ids = {node: index for index, node in enumerate(graph.nodes())}
+    sources = set(graph.sources)
+    lines = ["digraph ctgraph {", "  rankdir=LR;", "  node [shape=box];"]
+    for node in graph.nodes():
+        stay = "⊥" if node.stay is None else str(node.stay)
+        label = f"t={node.tau}\\n{node.location}\\nstay={stay}"
+        if node.departures:
+            tl = ",".join(f"({t},{l})" for t, l in node.departures)
+            label += f"\\nTL={tl}"
+        extra = ""
+        if node in sources:
+            extra = (", style=filled, fillcolor=lightblue, xlabel=\""
+                     f"{graph.source_probability(node):.3f}\"")
+        lines.append(f'  n{ids[node]} [label="{label}"{extra}];')
+    for node in graph.nodes():
+        for child, probability in node.edges.items():
+            lines.append(
+                f'  n{ids[node]} -> n{ids[child]} '
+                f'[label="{probability:.3f}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Saving and loading detection matrices (``.npz``).
+
+The matrix alone does not capture its grid; loading therefore requires the
+building (the grid is deterministic given building + cell size, both of
+which are stored alongside the values).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.mapmodel.building import Building
+from repro.mapmodel.grid import Grid
+from repro.rfid.calibration import DetectionMatrix
+
+__all__ = ["save_matrix", "load_matrix"]
+
+PathLike = Union[str, Path]
+
+_FORMAT = "rfid-ctg/matrix@1"
+
+
+def save_matrix(matrix: DetectionMatrix, path: PathLike) -> None:
+    """Write a detection matrix (values + reader names + grid spec)."""
+    np.savez_compressed(
+        Path(path),
+        format=np.array(_FORMAT),
+        values=matrix.values,
+        reader_names=np.array(matrix.reader_names),
+        cell_size=np.array(matrix.grid.cell_size),
+        building=np.array(matrix.grid.building.name),
+    )
+
+
+def load_matrix(path: PathLike, building: Building) -> DetectionMatrix:
+    """Read a matrix written by :func:`save_matrix` against ``building``.
+
+    The grid is rebuilt from the stored cell size; a mismatch between the
+    stored building name / cell count and the given building is an error.
+    """
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if str(archive["format"]) != _FORMAT:
+            raise ReproError(f"{path}: not a detection-matrix archive")
+        stored_building = str(archive["building"])
+        if stored_building != building.name:
+            raise ReproError(
+                f"{path}: matrix calibrated for building "
+                f"{stored_building!r}, not {building.name!r}")
+        grid = Grid(building, float(archive["cell_size"]))
+        values = archive["values"]
+        reader_names = [str(name) for name in archive["reader_names"]]
+    return DetectionMatrix(values, grid, reader_names)

@@ -1,0 +1,147 @@
+"""Ready-made floor plans and buildings, including the paper's maps.
+
+The paper evaluates on two synthetic buildings, of four (SYN1) and eight
+(SYN2) floors, each floor shaped like Fig. 1(a): offices on both sides of a
+central corridor, with a staircase connecting consecutive floors.  This
+module builds parametric versions of those maps, plus a couple of tiny maps
+used throughout the tests and examples.
+
+All dimensions are in metres.  Location names are globally unique and
+prefixed with the floor (``F0_R1``, ``F0_corridor``, ...), since the
+cleaning machinery identifies locations by name.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import MapModelError
+from repro.geometry import Point, Rect
+from repro.mapmodel.building import Building
+
+__all__ = [
+    "paper_floor",
+    "multi_floor_building",
+    "syn1_building",
+    "syn2_building",
+    "two_room_map",
+    "corridor_map",
+]
+
+#: Walking length of one staircase flight between consecutive floors.
+STAIR_FLIGHT_LENGTH = 4.0
+
+#: Number of office rooms per side of the corridor on a paper-style floor.
+_ROOMS_PER_SIDE = 3
+_ROOM_WIDTH = 7.0
+_ROOM_DEPTH = 4.0
+_CORRIDOR_HEIGHT = 2.0
+_STAIR_WIDTH = 3.0
+
+
+def paper_floor(building: Building, floor: int) -> None:
+    """Add one Fig. 1(a)-style floor to ``building``.
+
+    The floor consists of a central corridor, three rooms above it, three
+    rooms below it, a staircase room at the corridor's east end, a door from
+    every room to the corridor, and two room-to-room doors (north side:
+    R1-R2; south side: R5-R6) so that some location pairs are connected both
+    directly and through the corridor — exactly the structural ambiguity the
+    paper's constraints exploit.
+    """
+    prefix = f"F{floor}_"
+    width = _ROOMS_PER_SIDE * _ROOM_WIDTH
+    corridor_y0 = _ROOM_DEPTH
+    corridor_y1 = _ROOM_DEPTH + _CORRIDOR_HEIGHT
+
+    building.add_location(prefix + "corridor", floor,
+                          Rect(0.0, corridor_y0, width, corridor_y1),
+                          kind="corridor")
+
+    # North rooms R1..R3 sit above the corridor, south rooms R4..R6 below.
+    for i in range(_ROOMS_PER_SIDE):
+        x0 = i * _ROOM_WIDTH
+        x1 = x0 + _ROOM_WIDTH
+        north = prefix + f"R{i + 1}"
+        south = prefix + f"R{i + 1 + _ROOMS_PER_SIDE}"
+        building.add_location(north, floor,
+                              Rect(x0, corridor_y1, x1, corridor_y1 + _ROOM_DEPTH))
+        building.add_location(south, floor, Rect(x0, 0.0, x1, _ROOM_DEPTH))
+        building.add_door(north, prefix + "corridor")
+        building.add_door(south, prefix + "corridor")
+
+    # Room-to-room doors give pairs reachable without entering the corridor.
+    building.add_door(prefix + "R1", prefix + "R2")
+    building.add_door(prefix + "R5", prefix + "R6")
+
+    # The staircase room at the east end of the corridor.
+    stairs = prefix + "stairs"
+    building.add_location(
+        stairs, floor,
+        Rect(width, corridor_y0 - 1.0, width + _STAIR_WIDTH, corridor_y1 + 1.0),
+        kind="staircase")
+    building.add_door(stairs, prefix + "corridor",
+                      point=Point(width, (corridor_y0 + corridor_y1) / 2.0))
+
+
+def multi_floor_building(num_floors: int, name: str = "building") -> Building:
+    """A building of ``num_floors`` paper-style floors linked by staircases."""
+    if num_floors < 1:
+        raise MapModelError("a building needs at least one floor")
+    building = Building(name)
+    for floor in range(num_floors):
+        paper_floor(building, floor)
+    for floor in range(num_floors - 1):
+        building.add_door(f"F{floor}_stairs", f"F{floor + 1}_stairs",
+                          length=STAIR_FLIGHT_LENGTH)
+    building.validate()
+    return building
+
+
+def syn1_building() -> Building:
+    """The SYN1 building of the paper: four paper-style floors."""
+    return multi_floor_building(4, name="SYN1")
+
+
+def syn2_building() -> Building:
+    """The SYN2 building of the paper: eight paper-style floors."""
+    return multi_floor_building(8, name="SYN2")
+
+
+def two_room_map(room_size: float = 5.0) -> Building:
+    """Two adjacent rooms with a connecting door — the smallest useful map."""
+    building = Building("two-rooms")
+    building.add_location("A", 0, Rect(0.0, 0.0, room_size, room_size))
+    building.add_location("B", 0, Rect(room_size, 0.0, 2 * room_size, room_size))
+    building.add_door("A", "B")
+    building.validate()
+    return building
+
+
+def corridor_map(num_rooms: int = 4, room_size: float = 5.0) -> Building:
+    """``num_rooms`` rooms in a row along a corridor, each with one door.
+
+    Rooms are not directly connected to each other, so every room-to-room
+    move passes through the corridor — handy for exercising traveling-time
+    constraints in tests.
+    """
+    if num_rooms < 1:
+        raise MapModelError("corridor_map needs at least one room")
+    building = Building("corridor-map")
+    corridor_height = 2.0
+    building.add_location(
+        "corridor", 0,
+        Rect(0.0, room_size, num_rooms * room_size, room_size + corridor_height),
+        kind="corridor")
+    for i in range(num_rooms):
+        name = f"room{i + 1}"
+        x0 = i * room_size
+        building.add_location(name, 0, Rect(x0, 0.0, x0 + room_size, room_size))
+        building.add_door(name, "corridor")
+    building.validate()
+    return building
+
+
+def floor_names(building: Building, floor: int) -> List[str]:
+    """Names of all locations on ``floor``, in insertion order."""
+    return [loc.name for loc in building.locations_on_floor(floor)]

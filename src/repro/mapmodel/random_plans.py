@@ -1,0 +1,120 @@
+"""Random building generator — stress-testing and property tests.
+
+Generates a floor as a grid of rooms connected by a random spanning tree of
+doors (guaranteeing connectivity) plus extra random doors (creating the
+multi-path ambiguity that makes cleaning interesting).  Multi-floor
+buildings chain floors with staircase rooms like the paper-style plans.
+
+Deterministic given the rng; used by the map-level property tests and
+available to users who want workloads beyond SYN1/SYN2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MapModelError
+from repro.geometry import Rect
+from repro.mapmodel.building import Building
+from repro.mapmodel.floorplans import STAIR_FLIGHT_LENGTH
+
+__all__ = ["random_building"]
+
+
+def random_building(num_floors: int = 1,
+                    rooms_x: int = 3,
+                    rooms_y: int = 2,
+                    room_size: float = 5.0,
+                    extra_door_fraction: float = 0.3,
+                    transit_fraction: float = 0.2,
+                    rng: Optional[np.random.Generator] = None,
+                    name: str = "random") -> Building:
+    """A random, fully connected multi-floor building.
+
+    Each floor is a ``rooms_x`` x ``rooms_y`` grid of square rooms.  Doors
+    form a uniform random spanning tree of the grid plus
+    ``extra_door_fraction`` of the remaining adjacencies; a random
+    ``transit_fraction`` of rooms are marked as corridors (transit).  The
+    north-west room of every floor doubles as the staircase landing
+    connecting consecutive floors.
+    """
+    if num_floors < 1 or rooms_x < 1 or rooms_y < 1:
+        raise MapModelError("need at least one floor and one room per axis")
+    if rooms_x * rooms_y < 2 and num_floors > 1:
+        raise MapModelError("multi-floor buildings need >= 2 rooms per floor")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    building = Building(name)
+    for floor in range(num_floors):
+        _random_floor(building, floor, rooms_x, rooms_y, room_size,
+                      extra_door_fraction, transit_fraction, rng)
+    for floor in range(num_floors - 1):
+        building.add_door(f"F{floor}_G0_0", f"F{floor + 1}_G0_0",
+                          length=STAIR_FLIGHT_LENGTH)
+    building.validate()
+    return building
+
+
+def _random_floor(building: Building, floor: int, rooms_x: int, rooms_y: int,
+                  room_size: float, extra_door_fraction: float,
+                  transit_fraction: float, rng: np.random.Generator) -> None:
+    def room_name(ix: int, iy: int) -> str:
+        return f"F{floor}_G{ix}_{iy}"
+
+    total = rooms_x * rooms_y
+    num_transit = int(round(transit_fraction * total))
+    transit_indices = set(
+        int(i) for i in rng.choice(total, size=num_transit, replace=False)
+    ) if num_transit else set()
+
+    for iy in range(rooms_y):
+        for ix in range(rooms_x):
+            index = iy * rooms_x + ix
+            # The staircase landing (0, 0) is always a staircase room so
+            # multi-floor wiring stays uniform.
+            if (ix, iy) == (0, 0) and floor is not None:
+                kind = "staircase"
+            elif index in transit_indices:
+                kind = "corridor"
+            else:
+                kind = "room"
+            rect = Rect(ix * room_size, iy * room_size,
+                        (ix + 1) * room_size, (iy + 1) * room_size)
+            building.add_location(room_name(ix, iy), floor, rect, kind=kind)
+
+    # All grid adjacencies (candidate door positions).
+    adjacencies: List[Tuple[str, str]] = []
+    for iy in range(rooms_y):
+        for ix in range(rooms_x):
+            if ix + 1 < rooms_x:
+                adjacencies.append((room_name(ix, iy), room_name(ix + 1, iy)))
+            if iy + 1 < rooms_y:
+                adjacencies.append((room_name(ix, iy), room_name(ix, iy + 1)))
+
+    # Random spanning tree (randomised Kruskal): guarantees connectivity.
+    parent = {room_name(ix, iy): room_name(ix, iy)
+              for iy in range(rooms_y) for ix in range(rooms_x)}
+
+    def find(node: str) -> str:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    order = list(rng.permutation(len(adjacencies)))
+    leftovers: List[Tuple[str, str]] = []
+    for index in order:
+        a, b = adjacencies[int(index)]
+        root_a, root_b = find(a), find(b)
+        if root_a == root_b:
+            leftovers.append((a, b))
+            continue
+        parent[root_a] = root_b
+        building.add_door(a, b)
+
+    extra = int(round(extra_door_fraction * len(leftovers)))
+    for a, b in leftovers[:extra]:
+        building.add_door(a, b)

@@ -1,0 +1,12 @@
+"""Markovian-stream view of cleaned data (the Section 5 remark).
+
+The paper notes that ct-graphs "can be seen as Markovian streams", making
+cleaned data directly consumable by Markovian-stream warehousing systems
+(the Lahar project).  :class:`~repro.markov.stream.MarkovianStream` is that
+export: per-timestep location marginals plus per-timestep transition
+matrices.
+"""
+
+from repro.markov.stream import MarkovianStream
+
+__all__ = ["MarkovianStream"]

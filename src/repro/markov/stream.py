@@ -1,0 +1,126 @@
+"""Exporting a ct-graph as a Markovian stream.
+
+A Markovian stream (Lahar; [18, 19, 22] in the paper) is a sequence of
+random variables with explicit per-step transition probabilities:
+``P(X_0)`` and ``P(X_{tau+1} | X_tau)`` for every ``tau``.
+
+Two granularities are offered:
+
+* **node-level** (exact): the states of step ``tau`` are the ct-graph nodes
+  of level ``tau``.  Because node states make the future Markov (see
+  :mod:`repro.core.nodes`), this chain reproduces the conditioned
+  trajectory distribution exactly — it *is* the ct-graph, re-packaged.
+* **location-level** (lossy): states are location names; transitions are
+  marginalised over the nodes sharing a location.  This is the view a
+  location-granularity warehouse would store; it loses the cross-timestep
+  correlations carried by ``stay``/``TL`` (the paper's Section 7 point
+  about marginal-only representations), and
+  :meth:`MarkovianStream.trajectory_probability` is therefore only an
+  approximation of the true conditioned probability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.ctgraph import CTGraph
+from repro.errors import QueryError
+
+__all__ = ["MarkovianStream"]
+
+
+class MarkovianStream:
+    """The location-level Markovian stream of a ct-graph.
+
+    ``initial`` is ``P(X_0)``; ``transitions[tau]`` maps a location at step
+    ``tau`` to the conditional distribution of the location at ``tau + 1``.
+    """
+
+    def __init__(self, initial: Dict[str, float],
+                 transitions: Sequence[Dict[str, Dict[str, float]]]) -> None:
+        self.initial = dict(initial)
+        self.transitions: Tuple[Dict[str, Dict[str, float]], ...] = tuple(
+            {src: dict(dst) for src, dst in step.items()}
+            for step in transitions)
+
+    @classmethod
+    def from_ct_graph(cls, graph: CTGraph) -> "MarkovianStream":
+        """Marginalise a ct-graph to location granularity."""
+        alphas = graph.node_marginals()
+        initial = graph.location_marginal(0)
+        transitions: List[Dict[str, Dict[str, float]]] = []
+        for tau in range(graph.duration - 1):
+            # joint[src][dst] = P(X_tau = src, X_tau+1 = dst)
+            joint: Dict[str, Dict[str, float]] = {}
+            for node in graph.level(tau):
+                mass = alphas.get(node, 0.0)
+                if mass <= 0.0:
+                    continue
+                row = joint.setdefault(node.location, {})
+                for child, probability in node.edges.items():
+                    row[child.location] = (row.get(child.location, 0.0)
+                                           + mass * probability)
+            conditional: Dict[str, Dict[str, float]] = {}
+            for src, row in joint.items():
+                total = sum(row.values())
+                if total > 0.0:
+                    conditional[src] = {dst: p / total for dst, p in row.items()}
+            transitions.append(conditional)
+        return cls(initial, transitions)
+
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> int:
+        return len(self.transitions) + 1
+
+    def marginal(self, tau: int) -> Dict[str, float]:
+        """``P(X_tau)`` obtained by pushing the initial distribution forward."""
+        if not 0 <= tau < self.duration:
+            raise QueryError(f"timestep {tau} outside [0, {self.duration})")
+        current = dict(self.initial)
+        for step in self.transitions[:tau]:
+            following: Dict[str, float] = {}
+            for src, mass in current.items():
+                for dst, probability in step.get(src, {}).items():
+                    following[dst] = following.get(dst, 0.0) + mass * probability
+            current = following
+        return current
+
+    def trajectory_probability(self, trajectory: Sequence[str]) -> float:
+        """The chain's probability of a trajectory.
+
+        Exact for the location-level chain; an *approximation* of the
+        ct-graph's conditioned probability whenever several node states
+        share a location (see the module docstring).
+        """
+        if len(trajectory) != self.duration:
+            raise QueryError(
+                f"trajectory has {len(trajectory)} steps, expected {self.duration}")
+        probability = self.initial.get(trajectory[0], 0.0)
+        for tau in range(len(trajectory) - 1):
+            if probability == 0.0:
+                return 0.0
+            row = self.transitions[tau].get(trajectory[tau], {})
+            probability *= row.get(trajectory[tau + 1], 0.0)
+        return probability
+
+    def sample(self, rng: Optional[np.random.Generator] = None) -> Tuple[str, ...]:
+        """One trajectory drawn from the chain."""
+        if rng is None:
+            rng = np.random.default_rng()
+
+        def draw(distribution: Dict[str, float]) -> str:
+            names = list(distribution)
+            probabilities = np.array([distribution[name] for name in names])
+            probabilities = probabilities / probabilities.sum()
+            return names[int(rng.choice(len(names), p=probabilities))]
+
+        steps = [draw(self.initial)]
+        for transition in self.transitions:
+            steps.append(draw(transition[steps[-1]]))
+        return tuple(steps)
+
+    def __repr__(self) -> str:
+        return f"MarkovianStream(duration={self.duration})"

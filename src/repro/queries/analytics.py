@@ -1,0 +1,294 @@
+"""Analytics over cleaned trajectories: MAP paths, top-k, uncertainty,
+visit statistics.
+
+Everything here is an exact dynamic program over the levelled ct-graph:
+
+* :func:`most_likely_trajectory` — the Viterbi (maximum a-posteriori) path;
+* :func:`top_k_trajectories` — the k most probable valid trajectories
+  (best-first search over path prefixes);
+* :func:`entropy_profile` / :func:`uncertainty_reduction` — per-timestep
+  Shannon entropy of the location marginal, quantifying the paper's
+  headline ("reducing the inherent uncertainty of trajectory data");
+* :func:`expected_visit_counts` — expected number of timesteps per
+  location;
+* :func:`visit_probability` — P(the object ever visits a location);
+* :func:`first_visit_distribution` — when the first visit happens.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ctgraph import CTGraph, CTNode
+from repro.core.lsequence import LSequence, Trajectory
+from repro.errors import QueryError
+
+__all__ = [
+    "most_likely_trajectory",
+    "top_k_trajectories",
+    "entropy_profile",
+    "entropy_profile_prior",
+    "uncertainty_reduction",
+    "expected_visit_counts",
+    "visit_probability",
+    "span_probability",
+    "first_visit_distribution",
+    "time_at_location_distribution",
+]
+
+
+# ----------------------------------------------------------------------
+# MAP trajectory and top-k
+# ----------------------------------------------------------------------
+
+def most_likely_trajectory(graph: CTGraph) -> Tuple[Trajectory, float]:
+    """The maximum-probability valid trajectory (Viterbi over the graph)."""
+    best: Dict[CTNode, Tuple[float, Optional[CTNode]]] = {}
+    for source in graph.sources:
+        probability = graph.source_probability(source)
+        if probability > 0.0:
+            best[source] = (probability, None)
+    for tau in range(graph.duration - 1):
+        for node in graph.level(tau):
+            entry = best.get(node)
+            if entry is None:
+                continue
+            mass = entry[0]
+            for child, probability in node.edges.items():
+                candidate = mass * probability
+                current = best.get(child)
+                if current is None or candidate > current[0]:
+                    best[child] = (candidate, node)
+
+    terminal = max(
+        (node for node in graph.targets if node in best),
+        key=lambda node: best[node][0],
+        default=None)
+    if terminal is None:
+        raise QueryError("graph has no positive-probability path")
+    steps: List[str] = []
+    node: Optional[CTNode] = terminal
+    while node is not None:
+        steps.append(node.location)
+        node = best[node][1]
+    steps.reverse()
+    return tuple(steps), best[terminal][0]
+
+
+def top_k_trajectories(graph: CTGraph, k: int) -> List[Tuple[Trajectory, float]]:
+    """The ``k`` most probable valid trajectories, most probable first.
+
+    Best-first search over path prefixes, guided by the exact
+    probability-to-go upper bound ``best_suffix`` (the Viterbi value of
+    each node's best completion) — so only prefixes that can still reach
+    the frontier of the answer set are expanded.
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+
+    # Exact best-completion value per node (max-product backward pass).
+    best_suffix: Dict[CTNode, float] = {node: 1.0 for node in graph.targets}
+    for tau in range(graph.duration - 2, -1, -1):
+        for node in graph.level(tau):
+            best_suffix[node] = max(
+                (probability * best_suffix.get(child, 0.0)
+                 for child, probability in node.edges.items()),
+                default=0.0)
+
+    # Best-first expansion: entries are (-bound, counter, node, prefix, mass).
+    heap: List = []
+    counter = 0
+    for source in graph.sources:
+        mass = graph.source_probability(source)
+        if mass <= 0.0:
+            continue
+        bound = mass * best_suffix.get(source, 0.0)
+        heapq.heappush(heap, (-bound, counter, source, (source.location,), mass))
+        counter += 1
+
+    results: List[Tuple[Trajectory, float]] = []
+    while heap and len(results) < k:
+        negative_bound, _, node, prefix, mass = heapq.heappop(heap)
+        if not node.edges:
+            if node.tau == graph.duration - 1:
+                results.append((prefix, mass))
+            continue
+        for child, probability in node.edges.items():
+            child_mass = mass * probability
+            bound = child_mass * best_suffix.get(child, 0.0)
+            if bound <= 0.0:
+                continue
+            heapq.heappush(heap, (-bound, counter, child,
+                                  prefix + (child.location,), child_mass))
+            counter += 1
+    return results
+
+
+# ----------------------------------------------------------------------
+# uncertainty
+# ----------------------------------------------------------------------
+
+def _entropy(distribution: Dict[str, float]) -> float:
+    return -sum(p * math.log2(p) for p in distribution.values() if p > 0.0)
+
+
+def entropy_profile(graph: CTGraph) -> List[float]:
+    """Shannon entropy (bits) of the cleaned location marginal, per step."""
+    return [_entropy(graph.location_marginal(tau))
+            for tau in range(graph.duration)]
+
+
+def entropy_profile_prior(lsequence: LSequence) -> List[float]:
+    """Shannon entropy (bits) of the raw a-priori marginal, per step."""
+    return [_entropy(lsequence.candidates(tau))
+            for tau in range(lsequence.duration)]
+
+
+def uncertainty_reduction(lsequence: LSequence, graph: CTGraph) -> float:
+    """Average per-step entropy drop (bits) achieved by conditioning.
+
+    Positive values mean cleaning made positions more certain on average —
+    the quantified version of the paper's title claim.
+    """
+    if lsequence.duration != graph.duration:
+        raise QueryError("l-sequence and graph have different durations")
+    before = entropy_profile_prior(lsequence)
+    after = entropy_profile(graph)
+    return sum(b - a for b, a in zip(before, after)) / graph.duration
+
+
+# ----------------------------------------------------------------------
+# visit statistics
+# ----------------------------------------------------------------------
+
+def expected_visit_counts(graph: CTGraph) -> Dict[str, float]:
+    """Expected number of timesteps spent at each location."""
+    totals: Dict[str, float] = {}
+    for tau in range(graph.duration):
+        for location, probability in graph.location_marginal(tau).items():
+            totals[location] = totals.get(location, 0.0) + probability
+    return totals
+
+
+def visit_probability(graph: CTGraph, location: str) -> float:
+    """P(the object is at ``location`` at some timestep).
+
+    Computed as 1 minus the total mass of paths that avoid the location —
+    a forward pass restricted to non-``location`` nodes.
+    """
+    avoiding: Dict[CTNode, float] = {}
+    for source in graph.sources:
+        if source.location != location:
+            mass = graph.source_probability(source)
+            if mass > 0.0:
+                avoiding[source] = mass
+    for tau in range(graph.duration - 1):
+        for node in graph.level(tau):
+            mass = avoiding.get(node)
+            if mass is None:
+                continue
+            for child, probability in node.edges.items():
+                if child.location == location:
+                    continue
+                avoiding[child] = avoiding.get(child, 0.0) + mass * probability
+    avoided = sum(avoiding.get(node, 0.0) for node in graph.targets)
+    return min(1.0, max(0.0, 1.0 - avoided))
+
+
+def span_probability(graph: CTGraph, location: str,
+                     start: int, end: int) -> float:
+    """P(the object is at ``location`` throughout ``[start, end]``).
+
+    Both bounds are inclusive timesteps.  A forward pass whose flow is
+    restricted to ``location`` nodes inside the window — the probabilistic
+    version of "was the patient in the isolation room the whole hour?".
+    """
+    if not 0 <= start <= end < graph.duration:
+        raise QueryError(
+            f"window [{start}, {end}] outside the graph's [0, "
+            f"{graph.duration})")
+    alphas = graph.node_marginals()
+    inside: Dict[CTNode, float] = {}
+    for node in graph.level(start):
+        if node.location == location:
+            mass = alphas.get(node, 0.0)
+            if mass > 0.0:
+                inside[node] = mass
+    for tau in range(start, end):
+        step: Dict[CTNode, float] = {}
+        for node, mass in inside.items():
+            for child, probability in node.edges.items():
+                if child.location == location:
+                    step[child] = step.get(child, 0.0) + mass * probability
+        inside = step
+        if not inside:
+            return 0.0
+    return min(1.0, sum(inside.values()))
+
+
+def time_at_location_distribution(graph: CTGraph,
+                                  location: str) -> Dict[int, float]:
+    """The distribution of the *total* time spent at ``location``.
+
+    Returns ``{k: P(exactly k timesteps at location)}`` including ``k=0``.
+    The DP carries a per-node count histogram, so cost is
+    ``O(nodes * duration)`` in the worst case — fine for DU/LT graphs,
+    potentially heavy on huge TT graphs (expected value via
+    :func:`expected_visit_counts` is always cheap).
+    """
+    histograms: Dict[CTNode, Dict[int, float]] = {}
+    for source in graph.sources:
+        mass = graph.source_probability(source)
+        if mass <= 0.0:
+            continue
+        count = 1 if source.location == location else 0
+        histograms[source] = {count: mass}
+    for tau in range(graph.duration - 1):
+        for node in graph.level(tau):
+            histogram = histograms.get(node)
+            if not histogram:
+                continue
+            for child, probability in node.edges.items():
+                bump = 1 if child.location == location else 0
+                target = histograms.setdefault(child, {})
+                for count, mass in histogram.items():
+                    key = count + bump
+                    target[key] = target.get(key, 0.0) + mass * probability
+    result: Dict[int, float] = {}
+    for node in graph.targets:
+        for count, mass in histograms.get(node, {}).items():
+            result[count] = result.get(count, 0.0) + mass
+    return result
+
+
+def first_visit_distribution(graph: CTGraph, location: str) -> Dict[int, float]:
+    """P(first visit to ``location`` happens at timestep ``tau``).
+
+    The returned dict maps timesteps to probabilities; mass missing from
+    the dict is the probability of never visiting.  Forward pass over
+    "not visited yet" prefixes, emitting mass on first entry.
+    """
+    first: Dict[int, float] = {}
+    pending: Dict[CTNode, float] = {}
+    for source in graph.sources:
+        mass = graph.source_probability(source)
+        if mass <= 0.0:
+            continue
+        if source.location == location:
+            first[0] = first.get(0, 0.0) + mass
+        else:
+            pending[source] = mass
+    for tau in range(graph.duration - 1):
+        for node in graph.level(tau):
+            mass = pending.get(node)
+            if mass is None:
+                continue
+            for child, probability in node.edges.items():
+                flow = mass * probability
+                if child.location == location:
+                    first[tau + 1] = first.get(tau + 1, 0.0) + flow
+                else:
+                    pending[child] = pending.get(child, 0.0) + flow
+    return first

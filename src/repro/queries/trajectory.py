@@ -1,0 +1,87 @@
+"""Trajectory queries: probabilistic pattern matching (Section 6.6).
+
+The answer to a trajectory query over a ct-graph is *yes* with probability
+``p`` = total conditioned mass of the source->target paths whose location
+sequence matches the pattern.  The evaluator runs the pattern's DFA in
+lock-step with a forward pass over the levelled graph: the DP state is a
+probability per ``(graph node, DFA state)`` pair.  Determinism of the DFA
+makes the sum exact — each trajectory is counted through exactly one DFA
+run.
+
+The same DP over the raw l-sequence (states are ``(location, DFA state)``
+pairs) yields the uncleaned baseline probability under the independence
+assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple, Union
+
+from repro.core.ctgraph import CTGraph, CTNode
+from repro.core.lsequence import LSequence
+from repro.queries.pattern import Pattern
+
+__all__ = ["TrajectoryQuery"]
+
+
+class TrajectoryQuery:
+    """A compiled trajectory query, evaluatable on graphs and l-sequences."""
+
+    def __init__(self, pattern: Union[Pattern, str]) -> None:
+        self.pattern = (Pattern.parse(pattern) if isinstance(pattern, str)
+                        else pattern)
+        self._dfa = self.pattern.dfa()
+
+    # ------------------------------------------------------------------
+    def probability(self, graph: CTGraph) -> float:
+        """P(the cleaned trajectory matches the pattern)."""
+        dfa = self._dfa
+        # forward[(node, dfa_state)] = accumulated probability mass.
+        forward: Dict[Tuple[CTNode, int], float] = {}
+        for source in graph.sources:
+            mass = graph.source_probability(source)
+            if mass <= 0.0:
+                continue
+            state = dfa.step(dfa.start, source.location)
+            key = (source, state)
+            forward[key] = forward.get(key, 0.0) + mass
+
+        for tau in range(graph.duration - 1):
+            step: Dict[Tuple[CTNode, int], float] = {}
+            for (node, state), mass in forward.items():
+                if node.tau != tau:
+                    continue
+                for child, probability in node.edges.items():
+                    next_state = dfa.step(state, child.location)
+                    key = (child, next_state)
+                    step[key] = step.get(key, 0.0) + mass * probability
+            forward = step
+
+        return sum(mass for (node, state), mass in forward.items()
+                   if state in dfa.accepting)
+
+    def probability_prior(self, lsequence: LSequence) -> float:
+        """P(match) under the raw independence-assumption interpretation."""
+        dfa = self._dfa
+        forward: Dict[int, float] = {}
+        for location, probability in lsequence.candidates(0).items():
+            state = dfa.step(dfa.start, location)
+            forward[state] = forward.get(state, 0.0) + probability
+        for tau in range(1, lsequence.duration):
+            step: Dict[int, float] = {}
+            candidates = lsequence.candidates(tau)
+            for state, mass in forward.items():
+                for location, probability in candidates.items():
+                    next_state = dfa.step(state, location)
+                    step[next_state] = (step.get(next_state, 0.0)
+                                        + mass * probability)
+            forward = step
+        return sum(mass for state, mass in forward.items()
+                   if state in dfa.accepting)
+
+    def matches(self, trajectory: Sequence[str]) -> bool:
+        """Deterministic evaluation on a concrete trajectory."""
+        return self.pattern.matches(trajectory)
+
+    def __repr__(self) -> str:
+        return f"TrajectoryQuery({str(self.pattern)!r})"

@@ -1,0 +1,140 @@
+"""The a-priori distribution ``p*(l | R)`` of Section 6.2.
+
+Given the calibrated detection matrix ``F``, the probability that an object
+detected by *all and only* the readers in ``R`` is at location ``l`` is::
+
+    p*(l | R) = sum_{c in Cells(l)} prod_{r in R} F[r, c]
+                ------------------------------------------
+                sum_{c in Cells}   prod_{r in R} F[r, c]
+
+with a uniform fallback over all locations when no cell is covered by every
+reader in ``R`` (the paper's "no a-priori knowledge" case).  Note the paper's
+formula uses only the readers *in* ``R``; the ``negative_evidence`` option
+adds the ``prod_{r not in R} (1 - F[r, c])`` factors of the full
+all-and-only likelihood — the two variants are compared by an ablation
+benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import CalibrationError
+from repro.rfid.calibration import DetectionMatrix
+
+__all__ = ["PriorModel"]
+
+
+class PriorModel:
+    """Computes and caches ``p*(l | R)`` distributions from a detection matrix.
+
+    Parameters
+    ----------
+    matrix:
+        The calibrated ``F[r, c]`` matrix.
+    negative_evidence:
+        If true, cells also pay a ``(1 - F[r, c])`` factor for every reader
+        *not* in ``R`` (the exact "all and only" likelihood).  The paper's
+        formula (the default) ignores undetecting readers.
+    min_probability:
+        Locations whose probability falls below this threshold are dropped
+        and the rest renormalised.  0 (the default) reproduces the paper;
+        small positive values trade a little fidelity for smaller
+        l-sequences.  Must be < 1.
+    ghost_read_rate:
+        The assumed false-positive rate of the readers.  The paper's
+        formula implicitly assumes readers never fire spuriously, which
+        makes it brittle: a single ghost detection forces the cell weight
+        through that reader's (often zero) field.  A positive rate floors
+        every ``F[r, c]`` at this value when computing weights, matching a
+        detection model where any reader fires with at least that
+        probability — the ghost-read ablation benchmark shows the effect.
+    """
+
+    def __init__(self, matrix: DetectionMatrix, *,
+                 negative_evidence: bool = False,
+                 min_probability: float = 0.0,
+                 ghost_read_rate: float = 0.0) -> None:
+        if not (0.0 <= min_probability < 1.0):
+            raise CalibrationError(
+                f"min_probability must be in [0, 1), got {min_probability}")
+        if not (0.0 <= ghost_read_rate < 1.0):
+            raise CalibrationError(
+                f"ghost_read_rate must be in [0, 1), got {ghost_read_rate}")
+        self.matrix = matrix
+        self.negative_evidence = negative_evidence
+        self.min_probability = min_probability
+        self.ghost_read_rate = ghost_read_rate
+        self.location_names: Tuple[str, ...] = matrix.grid.building.location_names
+        self._location_ids = matrix.grid.location_index_array()
+        self._num_locations = len(self.location_names)
+        self._reader_index = {name: i for i, name in enumerate(matrix.reader_names)}
+        self._cache: Dict[FrozenSet[str], Dict[str, float]] = {}
+
+    def distribution(self, readers: Iterable[str]) -> Dict[str, float]:
+        """``p*(. | R)`` as a dict location -> probability (non-zero entries).
+
+        ``readers`` is the set ``R`` of readers that detected the object at
+        one timestep; it may be empty (the object was detected by no reader).
+        The returned dict always sums to 1 (up to float rounding) and is
+        cached per reader set — callers must not mutate it.
+        """
+        key = frozenset(readers)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        distribution = self._compute(key)
+        self._cache[key] = distribution
+        return distribution
+
+    def support(self, readers: Iterable[str]) -> Tuple[str, ...]:
+        """The locations given non-zero probability for reader set ``R``."""
+        return tuple(self.distribution(readers).keys())
+
+    # ------------------------------------------------------------------
+    def _compute(self, readers: FrozenSet[str]) -> Dict[str, float]:
+        indices = []
+        for name in readers:
+            index = self._reader_index.get(name)
+            if index is None:
+                raise CalibrationError(f"unknown reader in reading: {name!r}")
+            indices.append(index)
+
+        values = self.matrix.values
+        if self.ghost_read_rate > 0.0:
+            values = np.maximum(values, self.ghost_read_rate)
+        if indices:
+            weights = np.prod(values[indices, :], axis=0)
+        else:
+            weights = np.ones(values.shape[1], dtype=np.float64)
+        if self.negative_evidence:
+            others = [i for i in range(values.shape[0]) if i not in set(indices)]
+            if others:
+                weights = weights * np.prod(1.0 - values[others, :], axis=0)
+
+        total = float(weights.sum())
+        if total <= 0.0:
+            # No cell is compatible with R: uniform over all locations.
+            uniform = 1.0 / self._num_locations
+            return {name: uniform for name in self.location_names}
+
+        per_location = np.bincount(self._location_ids, weights=weights,
+                                   minlength=self._num_locations)
+        probabilities = per_location / total
+        if self.min_probability > 0.0:
+            probabilities = self._apply_threshold(probabilities)
+        return {self.location_names[i]: float(p)
+                for i, p in enumerate(probabilities) if p > 0.0}
+
+    def _apply_threshold(self, probabilities: np.ndarray) -> np.ndarray:
+        kept = np.where(probabilities >= self.min_probability, probabilities, 0.0)
+        total = kept.sum()
+        if total <= 0.0:
+            # Everything fell below the threshold; keep the single best
+            # location rather than returning an empty distribution.
+            kept = np.zeros_like(probabilities)
+            kept[int(np.argmax(probabilities))] = 1.0
+            return kept
+        return kept / total

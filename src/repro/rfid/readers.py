@@ -1,0 +1,156 @@
+"""RFID readers: placement and the radial detection model.
+
+The paper does not fix a detection model — it learns ``F[r, c]`` physically —
+but cites the *three-state model* of Chen et al. [4] as the canonical choice.
+We implement that shape: a *major* region where detection is reliable, a
+linearly decaying *minor* region, and nothing beyond the maximum range.
+Walls attenuate the signal multiplicatively, which is what creates the
+cross-location ambiguity (a reader near a wall detects tags in two rooms)
+the cleaning framework exists to resolve.
+
+Readers only ever detect tags on their own floor: the concrete slabs between
+floors are treated as opaque.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import MapModelError
+from repro.geometry import Point
+from repro.mapmodel.building import Building
+
+__all__ = ["Reader", "ReaderModel", "place_default_readers"]
+
+#: Default three-state model parameters (metres / probability).
+DEFAULT_MAJOR_RADIUS = 2.5
+DEFAULT_MAX_RADIUS = 5.5
+DEFAULT_MAJOR_PROBABILITY = 0.95
+#: Default per-wall signal attenuation factor.
+DEFAULT_WALL_ATTENUATION = 0.55
+
+
+@dataclass(frozen=True)
+class Reader:
+    """One RFID reader antenna.
+
+    ``major_radius``/``max_radius``/``major_probability`` parameterise the
+    three-state detection curve; they may differ per reader to model
+    heterogeneous hardware.
+    """
+
+    name: str
+    floor: int
+    position: Point
+    major_radius: float = DEFAULT_MAJOR_RADIUS
+    max_radius: float = DEFAULT_MAX_RADIUS
+    major_probability: float = DEFAULT_MAJOR_PROBABILITY
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.major_radius <= self.max_radius):
+            raise MapModelError(
+                f"reader {self.name!r}: need 0 < major_radius <= max_radius")
+        if not (0.0 < self.major_probability <= 1.0):
+            raise MapModelError(
+                f"reader {self.name!r}: major_probability must be in (0, 1]")
+
+    def base_probability(self, distance: float) -> float:
+        """Detection probability at ``distance`` metres, ignoring walls."""
+        if distance <= self.major_radius:
+            return self.major_probability
+        if distance >= self.max_radius:
+            return 0.0
+        span = self.max_radius - self.major_radius
+        return self.major_probability * (self.max_radius - distance) / span
+
+
+class ReaderModel:
+    """A set of readers deployed in a building, with wall attenuation."""
+
+    def __init__(self, building: Building, readers: Sequence[Reader],
+                 wall_attenuation: float = DEFAULT_WALL_ATTENUATION) -> None:
+        if not readers:
+            raise MapModelError("a reader model needs at least one reader")
+        if not (0.0 <= wall_attenuation <= 1.0):
+            raise MapModelError(
+                f"wall_attenuation must be in [0, 1], got {wall_attenuation}")
+        names = [reader.name for reader in readers]
+        if len(set(names)) != len(names):
+            raise MapModelError("duplicate reader names")
+        self.building = building
+        self.readers: Tuple[Reader, ...] = tuple(readers)
+        self.wall_attenuation = wall_attenuation
+        self._index: Dict[str, int] = {r.name: i for i, r in enumerate(self.readers)}
+
+    @property
+    def reader_names(self) -> Tuple[str, ...]:
+        return tuple(reader.name for reader in self.readers)
+
+    def __len__(self) -> int:
+        return len(self.readers)
+
+    def reader(self, name: str) -> Reader:
+        try:
+            return self.readers[self._index[name]]
+        except KeyError:
+            raise MapModelError(f"unknown reader {name!r}") from None
+
+    def detection_probability(self, reader: Reader, floor: int, point: Point) -> float:
+        """Probability that ``reader`` detects a tag at ``point`` on ``floor``.
+
+        Zero across floors; otherwise the three-state radial curve times
+        ``wall_attenuation ** walls`` where ``walls`` is the number of wall
+        segments crossed by the straight line from the antenna to the tag.
+        """
+        if reader.floor != floor:
+            return 0.0
+        distance = reader.position.distance_to(point)
+        base = reader.base_probability(distance)
+        if base == 0.0:
+            return 0.0
+        walls = self.building.walls_between(floor, reader.position, point)
+        if walls == 0:
+            return base
+        return base * (self.wall_attenuation ** walls)
+
+    def detection_probabilities(self, floor: int, point: Point) -> List[float]:
+        """Per-reader detection probabilities (in ``readers`` order)."""
+        return [self.detection_probability(reader, floor, point)
+                for reader in self.readers]
+
+
+def place_default_readers(building: Building, *,
+                          major_radius: float = DEFAULT_MAJOR_RADIUS,
+                          max_radius: float = DEFAULT_MAX_RADIUS,
+                          major_probability: float = DEFAULT_MAJOR_PROBABILITY,
+                          reader_spacing: float = 4.0,
+                          wall_attenuation: float = DEFAULT_WALL_ATTENUATION,
+                          ) -> ReaderModel:
+    """A sensible default deployment, in the spirit of Fig. 1(a).
+
+    Every location gets readers spread along its longer axis, roughly
+    ``reader_spacing`` metres apart, so (like the paper's physical setup)
+    nearly every point of the map is within range of some antenna while
+    fields still bleed into neighbouring locations through doorways and
+    walls — the ambiguity the cleaning framework targets.
+    """
+    readers: List[Reader] = []
+    for location in building.locations:
+        prefix = f"r_{location.name}"
+        rect = location.rect
+        horizontal = rect.width >= rect.height
+        span = rect.width if horizontal else rect.height
+        count = max(1, int(round(span / reader_spacing)))
+        for i in range(count):
+            frac = (i + 0.5) / count
+            if horizontal:
+                pos = Point(rect.x0 + frac * rect.width, rect.center.y)
+            else:
+                pos = Point(rect.center.x, rect.y0 + frac * rect.height)
+            name = prefix if count == 1 else f"{prefix}_{i}"
+            readers.append(Reader(
+                name=name, floor=location.floor, position=pos,
+                major_radius=major_radius, max_radius=max_radius,
+                major_probability=major_probability))
+    return ReaderModel(building, readers, wall_attenuation=wall_attenuation)

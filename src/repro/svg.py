@@ -1,0 +1,182 @@
+"""SVG rendering of floor plans, marginals and trajectories.
+
+Dependency-free SVG writers complementing the ASCII views of
+:mod:`repro.viz` — these are what goes into a report or a slide:
+
+* :func:`floor_to_svg` — a floor plan (rooms labelled, doors and readers
+  marked);
+* :func:`marginal_to_svg` — the same plan with a position distribution as
+  an opacity heatmap;
+* :func:`trajectory_to_svg` — a ground-truth (or sampled) path drawn over
+  the plan.
+
+All three return the SVG document as a string; callers write it wherever
+they want.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry import Point
+from repro.mapmodel.building import Building
+from repro.rfid.readers import ReaderModel
+
+__all__ = ["floor_to_svg", "marginal_to_svg", "trajectory_to_svg"]
+
+#: Pixels per metre.
+_SCALE = 24.0
+_MARGIN = 12.0
+
+_KIND_FILL = {
+    "room": "#f5f0e8",
+    "corridor": "#e3e9ef",
+    "staircase": "#e8e3ef",
+}
+
+
+def _header(building: Building, floor: int) -> Tuple[List[str], float, float]:
+    bounds = building.floor_bounds(floor)
+    width = bounds.width * _SCALE + 2 * _MARGIN
+    height = bounds.height * _SCALE + 2 * _MARGIN
+    lines = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+        f'<rect width="{width:.0f}" height="{height:.0f}" fill="white"/>',
+    ]
+    return lines, bounds.x0, bounds.y1   # y flips: SVG grows downward
+
+
+def _transform(x0: float, y1: float, point: Point) -> Tuple[float, float]:
+    return (_MARGIN + (point.x - x0) * _SCALE,
+            _MARGIN + (y1 - point.y) * _SCALE)
+
+
+def _draw_rooms(lines: List[str], building: Building, floor: int,
+                x0: float, y1: float,
+                fill_override: Optional[Dict[str, str]] = None,
+                opacity: Optional[Dict[str, float]] = None) -> None:
+    for location in building.locations_on_floor(floor):
+        rect = location.rect
+        px, py = _transform(x0, y1, Point(rect.x0, rect.y1))
+        width = rect.width * _SCALE
+        height = rect.height * _SCALE
+        fill = (fill_override or {}).get(
+            location.name, _KIND_FILL.get(location.kind, "#f5f0e8"))
+        alpha = (opacity or {}).get(location.name, 1.0)
+        lines.append(
+            f'<rect x="{px:.1f}" y="{py:.1f}" width="{width:.1f}" '
+            f'height="{height:.1f}" fill="{fill}" fill-opacity="{alpha:.3f}" '
+            'stroke="#333" stroke-width="2"/>')
+        cx, cy = _transform(x0, y1, rect.center)
+        lines.append(
+            f'<text x="{cx:.1f}" y="{cy:.1f}" font-size="11" '
+            'text-anchor="middle" font-family="sans-serif" '
+            f'fill="#333">{location.name}</text>')
+
+
+def _draw_doors(lines: List[str], building: Building, floor: int,
+                x0: float, y1: float) -> None:
+    seen = set()
+    for door in building.doors:
+        for name in (door.loc_a, door.loc_b):
+            location = building.location(name)
+            if location.floor != floor:
+                continue
+            px, py = _transform(x0, y1, door.point_in(name))
+            key = (round(px, 1), round(py, 1))
+            if key in seen:
+                continue  # same-floor doors share one physical point
+            seen.add(key)
+            lines.append(
+                f'<circle cx="{px:.1f}" cy="{py:.1f}" r="4" fill="white" '
+                'stroke="#333" stroke-width="1.5"/>')
+
+
+def floor_to_svg(building: Building, floor: int, *,
+                 readers: Optional[ReaderModel] = None) -> str:
+    """An SVG floor plan: rooms (tinted by kind), doors, optional readers."""
+    lines, x0, y1 = _header(building, floor)
+    _draw_rooms(lines, building, floor, x0, y1)
+    _draw_doors(lines, building, floor, x0, y1)
+    if readers is not None:
+        for reader in readers.readers:
+            if reader.floor != floor:
+                continue
+            px, py = _transform(x0, y1, reader.position)
+            lines.append(
+                f'<circle cx="{px:.1f}" cy="{py:.1f}" r="3.5" '
+                'fill="#c0392b"/>')
+            radius = reader.major_radius * _SCALE
+            lines.append(
+                f'<circle cx="{px:.1f}" cy="{py:.1f}" r="{radius:.1f}" '
+                'fill="none" stroke="#c0392b" stroke-width="0.8" '
+                'stroke-dasharray="4 3" opacity="0.6"/>')
+    lines.append("</svg>")
+    return "\n".join(lines)
+
+
+def marginal_to_svg(building: Building, floor: int,
+                    marginal: Dict[str, float]) -> str:
+    """The floor plan with a position distribution as a heatmap."""
+    lines, x0, y1 = _header(building, floor)
+    peak = max(marginal.values(), default=0.0) or 1.0
+    fills = {}
+    opacity = {}
+    for location in building.locations_on_floor(floor):
+        probability = marginal.get(location.name, 0.0)
+        if probability > 0.0:
+            fills[location.name] = "#2e6f9e"
+            opacity[location.name] = 0.15 + 0.85 * probability / peak
+    _draw_rooms(lines, building, floor, x0, y1, fills, opacity)
+    _draw_doors(lines, building, floor, x0, y1)
+    off_floor = 1.0 - sum(
+        p for name, p in marginal.items()
+        if name in {l.name for l in building.locations_on_floor(floor)})
+    lines.append(
+        f'<text x="{_MARGIN:.0f}" y="{_MARGIN - 2:.0f}" font-size="10" '
+        f'font-family="sans-serif" fill="#666">off-floor mass: '
+        f'{max(0.0, off_floor):.3f}</text>')
+    lines.append("</svg>")
+    return "\n".join(lines)
+
+
+def trajectory_to_svg(building: Building, floor: int,
+                      floors: Sequence[int], points: Sequence[Point]) -> str:
+    """The floor plan with a (ground-truth) path drawn over it.
+
+    Only the path segments on ``floor`` are drawn; floor changes break the
+    polyline.
+    """
+    lines, x0, y1 = _header(building, floor)
+    _draw_rooms(lines, building, floor, x0, y1)
+    _draw_doors(lines, building, floor, x0, y1)
+
+    segment: List[str] = []
+
+    def flush() -> None:
+        if len(segment) >= 2:
+            lines.append(
+                f'<polyline points="{" ".join(segment)}" fill="none" '
+                'stroke="#27ae60" stroke-width="2" opacity="0.8"/>')
+        segment.clear()
+
+    for point_floor, point in zip(floors, points):
+        if point_floor != floor:
+            flush()
+            continue
+        px, py = _transform(x0, y1, point)
+        segment.append(f"{px:.1f},{py:.1f}")
+    flush()
+    # Start and end markers (first/last on-floor samples).
+    on_floor = [point for point_floor, point in zip(floors, points)
+                if point_floor == floor]
+    if on_floor:
+        sx, sy = _transform(x0, y1, on_floor[0])
+        ex, ey = _transform(x0, y1, on_floor[-1])
+        lines.append(f'<circle cx="{sx:.1f}" cy="{sy:.1f}" r="5" '
+                     'fill="#27ae60"/>')
+        lines.append(f'<circle cx="{ex:.1f}" cy="{ey:.1f}" r="5" '
+                     'fill="none" stroke="#27ae60" stroke-width="2"/>')
+    lines.append("</svg>")
+    return "\n".join(lines)

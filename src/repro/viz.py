@@ -1,0 +1,172 @@
+"""Text rendering of maps and position estimates (no plotting deps).
+
+Terminal-friendly views used by the CLI and the examples:
+
+* :func:`render_floor` — an ASCII floor plan (rooms, doors, readers);
+* :func:`render_marginal` — the same plan with a position distribution
+  painted over it (shade per location);
+* :func:`render_entropy_sparkline` — a one-line uncertainty profile.
+
+These renderers are deliberately coarse: one character per ``scale``
+metres, shared walls drawn once, locations labelled by index with a
+legend.  They exist to make cleaned data *inspectable*, not pretty.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.mapmodel.building import Building
+from repro.rfid.readers import ReaderModel
+
+__all__ = ["render_floor", "render_marginal", "render_entropy_sparkline"]
+
+#: Shade ramp for probabilities (low -> high); avoids the wall glyphs.
+_SHADES = " .,:;ox*%@"
+
+
+def _floor_canvas(building: Building, floor: int, scale: float
+                  ) -> Tuple[List[List[str]], float, float, int, int]:
+    bounds = building.floor_bounds(floor)
+    width = max(1, int(round(bounds.width / scale)))
+    height = max(1, int(round(bounds.height / scale)))
+    canvas = [[" "] * (width + 1) for _ in range(height + 1)]
+    return canvas, bounds.x0, bounds.y0, width, height
+
+
+def _paint_walls(canvas, building: Building, floor: int, x0: float,
+                 y0: float, scale: float) -> None:
+    for location in building.locations_on_floor(floor):
+        rect = location.rect
+        cx0 = int(round((rect.x0 - x0) / scale))
+        cx1 = int(round((rect.x1 - x0) / scale))
+        cy0 = int(round((rect.y0 - y0) / scale))
+        cy1 = int(round((rect.y1 - y0) / scale))
+        for cx in range(cx0, cx1 + 1):
+            for cy in (cy0, cy1):
+                if 0 <= cy < len(canvas) and 0 <= cx < len(canvas[0]):
+                    canvas[cy][cx] = "-"
+        for cy in range(cy0, cy1 + 1):
+            for cx in (cx0, cx1):
+                if 0 <= cy < len(canvas) and 0 <= cx < len(canvas[0]):
+                    canvas[cy][cx] = "|" if canvas[cy][cx] != "-" else "+"
+
+
+def _paint_doors(canvas, building: Building, floor: int, x0: float,
+                 y0: float, scale: float) -> None:
+    for door in building.doors:
+        for name in (door.loc_a, door.loc_b):
+            location = building.location(name)
+            if location.floor != floor:
+                continue
+            point = door.point_in(name)
+            cx = int(round((point.x - x0) / scale))
+            cy = int(round((point.y - y0) / scale))
+            if 0 <= cy < len(canvas) and 0 <= cx < len(canvas[0]):
+                canvas[cy][cx] = "/"
+
+
+def _interior_fill(canvas, building: Building, floor: int, x0: float,
+                   y0: float, scale: float,
+                   fill_for: Dict[str, str]) -> None:
+    for location in building.locations_on_floor(floor):
+        glyph = fill_for.get(location.name)
+        if glyph is None:
+            continue
+        rect = location.rect
+        cx0 = int(round((rect.x0 - x0) / scale)) + 1
+        cx1 = int(round((rect.x1 - x0) / scale)) - 1
+        cy0 = int(round((rect.y0 - y0) / scale)) + 1
+        cy1 = int(round((rect.y1 - y0) / scale)) - 1
+        for cy in range(cy0, cy1 + 1):
+            for cx in range(cx0, cx1 + 1):
+                if 0 <= cy < len(canvas) and 0 <= cx < len(canvas[0]):
+                    canvas[cy][cx] = glyph
+
+
+def _finish(canvas) -> str:
+    # Row 0 is the bottom of the map: flip for natural reading.
+    return "\n".join("".join(row).rstrip() for row in reversed(canvas))
+
+
+def render_floor(building: Building, floor: int, *,
+                 readers: Optional[ReaderModel] = None,
+                 scale: float = 1.0) -> str:
+    """An ASCII plan of one floor (walls, doors, optional reader marks)."""
+    canvas, x0, y0, _, _ = _floor_canvas(building, floor, scale)
+    # Label interiors with a per-location index so rooms are identifiable.
+    labels = {}
+    legend = []
+    for i, location in enumerate(building.locations_on_floor(floor)):
+        glyph = str(i % 10)
+        labels[location.name] = glyph
+        legend.append(f"{glyph}={location.name}")
+    _interior_fill(canvas, building, floor, x0, y0, scale,
+                   {name: " " for name in labels})
+    _paint_walls(canvas, building, floor, x0, y0, scale)
+    _paint_doors(canvas, building, floor, x0, y0, scale)
+    if readers is not None:
+        for reader in readers.readers:
+            if reader.floor != floor:
+                continue
+            cx = int(round((reader.position.x - x0) / scale))
+            cy = int(round((reader.position.y - y0) / scale))
+            if 0 <= cy < len(canvas) and 0 <= cx < len(canvas[0]):
+                canvas[cy][cx] = "R"
+    # Single label character at each room centre (labels win over reader
+    # marks — identity beats instrumentation when they collide).
+    for location in building.locations_on_floor(floor):
+        center = location.rect.center
+        cx = int(round((center.x - x0) / scale))
+        cy = int(round((center.y - y0) / scale))
+        if 0 <= cy < len(canvas) and 0 <= cx < len(canvas[0]):
+            canvas[cy][cx] = labels[location.name]
+    return _finish(canvas) + "\n" + "  ".join(legend)
+
+
+def render_marginal(building: Building, floor: int,
+                    marginal: Dict[str, float], *,
+                    scale: float = 1.0) -> str:
+    """A floor plan shaded by a position distribution.
+
+    Locations on other floors contribute to the reported off-floor mass
+    line instead of the drawing.
+    """
+    canvas, x0, y0, _, _ = _floor_canvas(building, floor, scale)
+    fills: Dict[str, str] = {}
+    on_floor = 0.0
+    for location in building.locations_on_floor(floor):
+        probability = marginal.get(location.name, 0.0)
+        on_floor += probability
+        index = min(len(_SHADES) - 1, int(probability * (len(_SHADES) - 1)
+                                          + 0.999)) if probability > 0 else 0
+        fills[location.name] = _SHADES[index]
+    _interior_fill(canvas, building, floor, x0, y0, scale, fills)
+    _paint_walls(canvas, building, floor, x0, y0, scale)
+    _paint_doors(canvas, building, floor, x0, y0, scale)
+    footer = (f"on-floor mass: {on_floor:.3f}   "
+              f"off-floor mass: {max(0.0, 1.0 - on_floor):.3f}")
+    return _finish(canvas) + "\n" + footer
+
+
+def render_entropy_sparkline(values: Sequence[float], width: int = 72) -> str:
+    """A one-line sparkline of an uncertainty (entropy) profile."""
+    if not values:
+        return ""
+    actual_peak = max(values)
+    peak = actual_peak or 1.0
+    if len(values) > width:
+        # Downsample by averaging buckets.
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket):max(int(i * bucket) + 1,
+                                           int((i + 1) * bucket))])
+            / max(1, len(values[int(i * bucket):max(int(i * bucket) + 1,
+                                                    int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    ramp = " ▁▂▃▄▅▆▇█"
+    line = "".join(
+        ramp[min(len(ramp) - 1, int(value / peak * (len(ramp) - 1) + 0.5))]
+        for value in values)
+    return f"[{line}] peak={actual_peak:.2f} bits"

@@ -1,0 +1,160 @@
+"""Unit tests for the building model (locations, doors, adjacency)."""
+
+import pytest
+
+from repro.errors import MapModelError, UnknownLocationError
+from repro.geometry import Point, Rect
+from repro.mapmodel.building import Building, Door, Location
+
+
+def make_two_rooms() -> Building:
+    b = Building("b")
+    b.add_location("A", 0, Rect(0, 0, 5, 5))
+    b.add_location("B", 0, Rect(5, 0, 10, 5))
+    b.add_door("A", "B")
+    return b
+
+
+class TestLocation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(MapModelError):
+            Location("x", 0, Rect(0, 0, 1, 1), kind="garden")
+
+    def test_degenerate_footprint_rejected(self):
+        with pytest.raises(MapModelError):
+            Location("x", 0, Rect(0, 0, 0, 1))
+
+    def test_transit_kinds(self):
+        assert Location("c", 0, Rect(0, 0, 1, 1), kind="corridor").is_transit
+        assert Location("s", 0, Rect(0, 0, 1, 1), kind="staircase").is_transit
+        assert not Location("r", 0, Rect(0, 0, 1, 1), kind="room").is_transit
+
+
+class TestDoor:
+    def test_self_door_rejected(self):
+        with pytest.raises(MapModelError):
+            Door("A", "A", Point(0, 0), Point(0, 0))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(MapModelError):
+            Door("A", "B", Point(0, 0), Point(0, 0), length=-1)
+
+    def test_other_and_point_in(self):
+        door = Door("A", "B", Point(1, 1), Point(2, 2))
+        assert door.other("A") == "B"
+        assert door.other("B") == "A"
+        assert door.point_in("A") == Point(1, 1)
+        assert door.point_in("B") == Point(2, 2)
+        with pytest.raises(MapModelError):
+            door.other("C")
+
+
+class TestBuilding:
+    def test_duplicate_location_rejected(self):
+        b = Building()
+        b.add_location("A", 0, Rect(0, 0, 1, 1))
+        with pytest.raises(MapModelError):
+            b.add_location("A", 0, Rect(2, 0, 3, 1))
+
+    def test_overlapping_footprints_rejected(self):
+        b = Building()
+        b.add_location("A", 0, Rect(0, 0, 2, 2))
+        with pytest.raises(MapModelError):
+            b.add_location("B", 0, Rect(1, 1, 3, 3))
+
+    def test_same_footprint_other_floor_allowed(self):
+        b = Building()
+        b.add_location("A", 0, Rect(0, 0, 2, 2))
+        b.add_location("B", 1, Rect(0, 0, 2, 2))
+        assert len(b) == 2
+
+    def test_touching_footprints_allowed(self):
+        b = make_two_rooms()
+        assert set(b.location_names) == {"A", "B"}
+
+    def test_unknown_location_lookup(self):
+        b = make_two_rooms()
+        with pytest.raises(UnknownLocationError):
+            b.location("missing")
+
+    def test_auto_door_point_on_shared_wall(self):
+        b = make_two_rooms()
+        (door,) = b.doors
+        assert door.point_a == Point(5, 2.5)
+
+    def test_door_between_disjoint_rooms_needs_point(self):
+        b = Building()
+        b.add_location("A", 0, Rect(0, 0, 1, 1))
+        b.add_location("B", 0, Rect(5, 0, 6, 1))
+        with pytest.raises(MapModelError):
+            b.add_door("A", "B")
+
+    def test_neighbors_and_adjacency(self):
+        b = make_two_rooms()
+        assert b.neighbors("A") == ("B",)
+        assert b.are_adjacent("A", "B")
+        assert b.are_adjacent("B", "A")
+
+    def test_location_at(self):
+        b = make_two_rooms()
+        assert b.location_at(0, Point(1, 1)) == "A"
+        assert b.location_at(0, Point(7, 1)) == "B"
+        assert b.location_at(0, Point(20, 20)) is None
+        assert b.location_at(3, Point(1, 1)) is None
+
+    def test_floor_bounds(self):
+        b = make_two_rooms()
+        bounds = b.floor_bounds(0)
+        assert (bounds.x0, bounds.y0, bounds.x1, bounds.y1) == (0, 0, 10, 5)
+        with pytest.raises(MapModelError):
+            b.floor_bounds(9)
+
+    def test_validate_accepts_good_building(self):
+        make_two_rooms().validate()
+
+    def test_validate_rejects_empty_building(self):
+        with pytest.raises(MapModelError):
+            Building().validate()
+
+    def test_validate_rejects_offside_door(self):
+        b = Building()
+        b.add_location("A", 0, Rect(0, 0, 5, 5))
+        b.add_location("B", 0, Rect(5, 0, 10, 5))
+        b.add_door("A", "B", point=Point(20, 20))
+        with pytest.raises(MapModelError):
+            b.validate()
+
+    def test_validate_rejects_zero_length_stairs(self):
+        b = Building()
+        b.add_location("A", 0, Rect(0, 0, 5, 5))
+        b.add_location("B", 1, Rect(0, 0, 5, 5))
+        b.add_door("A", "B")  # defaults to length 0 across floors
+        with pytest.raises(MapModelError):
+            b.validate()
+
+    def test_connected_pairs_within_component_only(self):
+        b = Building()
+        b.add_location("A", 0, Rect(0, 0, 1, 1))
+        b.add_location("B", 0, Rect(1, 0, 2, 1))
+        b.add_location("C", 0, Rect(5, 0, 6, 1))  # isolated
+        b.add_door("A", "B")
+        pairs = b.connected_location_pairs()
+        assert ("A", "B") in pairs and ("B", "A") in pairs
+        assert not any("C" in pair for pair in pairs)
+
+    def test_walls_between_counts_crossings(self):
+        b = make_two_rooms()
+        # A straight line across the shared wall crosses A's right edge and
+        # B's left edge (shared walls are stored once per room).
+        crossings = b.walls_between(0, Point(2.5, 2.5), Point(7.5, 2.5))
+        assert crossings == 2
+
+    def test_walls_between_same_room_is_zero(self):
+        b = make_two_rooms()
+        assert b.walls_between(0, Point(1, 1), Point(4, 4)) == 0
+
+    def test_walls_between_ignores_wall_at_endpoint(self):
+        b = make_two_rooms()
+        # Reader mounted exactly on the shared wall: the wall it sits on
+        # does not attenuate its own signal.
+        assert b.walls_between(0, Point(5, 2.5), Point(4, 2.5)) == 0

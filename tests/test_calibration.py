@@ -1,0 +1,104 @@
+"""Tests for the detection-matrix calibration (Section 6.2 procedure)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.mapmodel.grid import Grid
+from repro.rfid.calibration import DetectionMatrix, calibrate, exact_matrix
+from repro.rfid.readers import place_default_readers
+
+
+@pytest.fixture
+def setup(two_rooms):
+    grid = Grid(two_rooms, 1.0)
+    model = place_default_readers(two_rooms)
+    return two_rooms, grid, model
+
+
+class TestDetectionMatrix:
+    def test_shape_validation(self, setup):
+        _, grid, model = setup
+        with pytest.raises(CalibrationError):
+            DetectionMatrix(np.zeros((3,)), grid, model.reader_names)
+        with pytest.raises(CalibrationError):
+            DetectionMatrix(np.zeros((len(model) + 1, grid.num_cells)),
+                            grid, model.reader_names)
+        with pytest.raises(CalibrationError):
+            DetectionMatrix(np.zeros((len(model), grid.num_cells + 5)),
+                            grid, model.reader_names)
+
+    def test_probability_range_validation(self, setup):
+        _, grid, model = setup
+        bad = np.full((len(model), grid.num_cells), 1.5)
+        with pytest.raises(CalibrationError):
+            DetectionMatrix(bad, grid, model.reader_names)
+
+    def test_row_and_column_access(self, setup):
+        _, grid, model = setup
+        matrix = exact_matrix(model, grid)
+        name = model.reader_names[0]
+        row = matrix.reader_row(name)
+        assert row.shape == (grid.num_cells,)
+        column = matrix.cell_column(0)
+        assert column.shape == (len(model),)
+        with pytest.raises(CalibrationError):
+            matrix.reader_row("nope")
+
+    def test_coverage_bounds(self, setup):
+        _, grid, model = setup
+        coverage = exact_matrix(model, grid).coverage()
+        assert coverage.shape == (grid.num_cells,)
+        assert np.all(coverage >= 0.0) and np.all(coverage <= 1.0)
+
+
+class TestExactMatrix:
+    def test_values_match_model(self, setup):
+        _, grid, model = setup
+        matrix = exact_matrix(model, grid)
+        reader = model.readers[0]
+        cell = grid.cells[0]
+        assert matrix.values[0, 0] == pytest.approx(
+            model.detection_probability(reader, cell.floor, cell.center))
+
+    def test_near_cells_are_covered(self, setup):
+        _, grid, model = setup
+        matrix = exact_matrix(model, grid)
+        # Each reader's own cell should be in the major region.
+        for r, reader in enumerate(model.readers):
+            cell = grid.cell_at(reader.floor, reader.position)
+            assert matrix.values[r, cell.index] == pytest.approx(
+                reader.major_probability)
+
+
+class TestCalibrate:
+    def test_deterministic_given_rng(self, setup):
+        _, grid, model = setup
+        a = calibrate(model, grid, rng=np.random.default_rng(3))
+        b = calibrate(model, grid, rng=np.random.default_rng(3))
+        assert np.array_equal(a.values, b.values)
+
+    def test_bad_epochs_rejected(self, setup):
+        _, grid, model = setup
+        with pytest.raises(CalibrationError):
+            calibrate(model, grid, epochs=0)
+
+    def test_values_are_multiples_of_one_over_epochs(self, setup):
+        _, grid, model = setup
+        matrix = calibrate(model, grid, epochs=10,
+                           rng=np.random.default_rng(0))
+        scaled = matrix.values * 10
+        assert np.allclose(scaled, np.round(scaled))
+
+    def test_converges_to_exact_with_many_epochs(self, setup):
+        _, grid, model = setup
+        exact = exact_matrix(model, grid)
+        noisy = calibrate(model, grid, epochs=20000,
+                          rng=np.random.default_rng(1))
+        assert np.max(np.abs(noisy.values - exact.values)) < 0.03
+
+    def test_zero_probability_stays_zero(self, setup):
+        _, grid, model = setup
+        exact = exact_matrix(model, grid)
+        noisy = calibrate(model, grid, rng=np.random.default_rng(2))
+        assert np.all(noisy.values[exact.values == 0.0] == 0.0)

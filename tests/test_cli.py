@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "--scale", "galactic"])
+
+    def test_experiment_requires_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--dataset", "syn1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "SYN1" in out
+        assert "readers" in out
+
+    def test_clean(self, capsys):
+        code = main(["clean", "--dataset", "syn1", "--scale", "tiny",
+                     "--constraints", "DU"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ct-graph" in out
+        assert "P(ground truth)" in out
+
+    def test_clean_bad_index(self):
+        with pytest.raises(SystemExit):
+            main(["clean", "--dataset", "syn1", "--scale", "tiny",
+                  "--index", "99"])
+
+    def test_query_stay(self, capsys):
+        code = main(["query", "--dataset", "syn1", "--scale", "tiny",
+                     "--constraints", "DU,LT", "--at", "5"])
+        assert code == 0
+        assert "stay query at 5" in capsys.readouterr().out
+
+    def test_query_pattern(self, capsys):
+        code = main(["query", "--dataset", "syn1", "--scale", "tiny",
+                     "--constraints", "DU", "--pattern", "? F0_R1 ?"])
+        assert code == 0
+        assert "trajectory query" in capsys.readouterr().out
+
+    def test_query_without_work_errors(self, capsys):
+        code = main(["query", "--dataset", "syn1", "--scale", "tiny"])
+        assert code == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_experiment_fig9a(self, capsys):
+        code = main(["experiment", "--name", "fig9a", "--dataset", "syn1",
+                     "--scale", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RAW" in out
+        assert "CTG(DU)" in out
+
+    def test_analytics(self, capsys):
+        code = main(["analytics", "--dataset", "syn1", "--scale", "tiny",
+                     "--constraints", "DU,LT", "--top", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "uncertainty reduction" in out
+        assert "#1" in out and "#2" in out
+        assert "expected time per location" in out
+
+    def test_export(self, capsys, tmp_path):
+        out_dir = tmp_path / "archive"
+        code = main(["export", "--dataset", "syn1", "--scale", "tiny",
+                     "--constraints", "DU", "--out", str(out_dir)])
+        assert code == 0
+        for name in ("building.json", "constraints.json", "matrix.npz",
+                     "readings.json", "ground_truth.json", "ctgraph.json"):
+            assert (out_dir / name).exists(), name
+
+    def test_report(self, capsys, tmp_path):
+        out = tmp_path / "report.md"
+        code = main(["report", "--dataset", "syn1", "--scale", "tiny",
+                     "--out", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert text.startswith("# rfid-ctg evaluation report")
+        assert "Shape checklist" in text
+        assert "FAIL" not in text[text.index("Shape checklist"):]
+
+    def test_ql(self, capsys):
+        code = main(["ql", "--dataset", "syn1", "--scale", "tiny",
+                     "--constraints", "DU", "STAY 3", "TOP 2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "> STAY 3" in out
+        assert "#1 p=" in out
+
+    def test_map(self, capsys):
+        code = main(["map", "--dataset", "syn1", "--scale", "tiny",
+                     "--floor", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "F0_corridor" in out
+        assert "R" in out
+
+    def test_map_with_marginal(self, capsys):
+        code = main(["map", "--dataset", "syn1", "--scale", "tiny",
+                     "--floor", "0", "--at", "5", "--constraints", "DU"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cleaned position estimate at t=5" in out
+        assert "on-floor mass" in out
+
+    def test_map_bad_floor(self):
+        with pytest.raises(SystemExit):
+            main(["map", "--dataset", "syn1", "--scale", "tiny",
+                  "--floor", "99"])
+
+    def test_export_round_trips(self, tmp_path):
+        from repro.io.jsonio import load_building, load_constraints
+        from repro.io.matrices import load_matrix
+
+        out_dir = tmp_path / "archive"
+        main(["export", "--dataset", "syn1", "--scale", "tiny",
+              "--constraints", "DU,LT", "--out", str(out_dir)])
+        building = load_building(out_dir / "building.json")
+        assert building.name == "SYN1"
+        constraints = load_constraints(out_dir / "constraints.json")
+        assert len(constraints) > 0
+        matrix = load_matrix(out_dir / "matrix.npz", building)
+        assert matrix.num_cells == matrix.grid.num_cells

@@ -1,0 +1,101 @@
+"""Tests for walking distances and traveling-time derivation."""
+
+import math
+
+import pytest
+
+from repro.errors import MapModelError
+from repro.geometry import Rect
+from repro.mapmodel.building import Building
+from repro.mapmodel.distances import WalkingDistances
+
+
+class TestBasicDistances:
+    def test_self_distance_is_zero(self, two_rooms):
+        d = WalkingDistances(two_rooms)
+        assert d.distance("A", "A") == 0.0
+
+    def test_adjacent_rooms_have_zero_distance(self, two_rooms):
+        # An object may stand right at the shared door.
+        d = WalkingDistances(two_rooms)
+        assert d.distance("A", "B") == 0.0
+
+    def test_symmetry(self, corridor4):
+        d = WalkingDistances(corridor4)
+        for a in corridor4.location_names:
+            for b in corridor4.location_names:
+                assert d.distance(a, b) == pytest.approx(d.distance(b, a))
+
+    def test_corridor_rooms_distance_is_door_gap(self, corridor4):
+        # room1 and room2 doors are 5 m apart along the corridor.
+        d = WalkingDistances(corridor4)
+        assert d.distance("room1", "room2") == pytest.approx(5.0)
+        assert d.distance("room1", "room4") == pytest.approx(15.0)
+
+    def test_non_negative_and_finite_when_connected(self, one_floor):
+        # Note: the location-to-location travel distance is *not* a metric
+        # (an object can stand at different doors of the same location, so
+        # the triangle inequality through a large location fails); it only
+        # needs to be a valid lower bound for TT constraints.
+        d = WalkingDistances(one_floor)
+        names = one_floor.location_names
+        for a in names:
+            for b in names:
+                value = d.distance(a, b)
+                assert value >= 0.0
+                assert math.isfinite(value)
+
+    def test_unreachable_is_infinite(self):
+        b = Building()
+        b.add_location("A", 0, Rect(0, 0, 1, 1))
+        b.add_location("B", 0, Rect(5, 0, 6, 1))
+        d = WalkingDistances(b)
+        assert math.isinf(d.distance("A", "B"))
+        assert not d.is_reachable("A", "B")
+        assert d.is_reachable("A", "A")
+
+
+class TestStairDistances:
+    def test_flight_length_counts(self, two_floors):
+        d = WalkingDistances(two_floors)
+        flight = [door for door in two_floors.doors if door.length > 0][0]
+        # Unlike point-like doors, a staircase flight has real length:
+        # reaching the next floor's stair room costs the flight walk even
+        # though the rooms are directly connected.
+        assert d.distance("F0_stairs", "F1_stairs") == pytest.approx(
+            flight.length)
+        # Crossing floors from a room includes the flight length.
+        cross = d.distance("F0_R1", "F1_R1")
+        same = d.distance("F0_R1", "F0_stairs")
+        assert cross >= same + flight.length - 1e-9
+
+
+class TestTravelingTime:
+    def test_rounding_up(self, corridor4):
+        d = WalkingDistances(corridor4)
+        # 5 m at 2 m/step -> ceil(2.5) = 3 steps.
+        assert d.min_traveling_time("room1", "room2", 2.0) == 3
+
+    def test_exact_division(self, corridor4):
+        d = WalkingDistances(corridor4)
+        assert d.min_traveling_time("room1", "room2", 2.5) == 2
+
+    def test_bad_speed_rejected(self, corridor4):
+        d = WalkingDistances(corridor4)
+        with pytest.raises(MapModelError):
+            d.min_traveling_time("room1", "room2", 0.0)
+
+    def test_unreachable_pair_rejected(self):
+        b = Building()
+        b.add_location("A", 0, Rect(0, 0, 1, 1))
+        b.add_location("B", 0, Rect(5, 0, 6, 1))
+        d = WalkingDistances(b)
+        with pytest.raises(MapModelError):
+            d.min_traveling_time("A", "B", 1.0)
+
+    def test_as_dict_snapshot(self, two_rooms):
+        d = WalkingDistances(two_rooms)
+        table = d.as_dict()
+        assert table["A"]["B"] == d.distance("A", "B")
+        table["A"]["B"] = 999.0          # mutating the copy is harmless
+        assert d.distance("A", "B") == 0.0

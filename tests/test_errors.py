@@ -1,0 +1,41 @@
+"""Tests for the exception hierarchy (catchability contracts)."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in errors.__all__:
+            if name == "ReproError":
+                continue
+            klass = getattr(errors, name)
+            assert issubclass(klass, errors.ReproError), name
+
+    def test_map_errors(self):
+        assert issubclass(errors.UnknownLocationError, errors.MapModelError)
+
+    def test_unknown_location_carries_name(self):
+        error = errors.UnknownLocationError("kitchen")
+        assert error.name == "kitchen"
+        assert "kitchen" in str(error)
+
+    def test_single_catch_at_api_boundary(self):
+        """The intended usage: one except clause catches the library."""
+        from repro import LSequence
+
+        with pytest.raises(errors.ReproError):
+            LSequence([])
+        with pytest.raises(errors.ReproError):
+            from repro import ConstraintSet, Unreachable, build_ct_graph
+            build_ct_graph(LSequence([{"A": 1.0}, {"B": 1.0}]),
+                           ConstraintSet([Unreachable("A", "B")]))
+
+    def test_inconsistent_is_not_a_sequence_error(self):
+        # Callers distinguish "your data is malformed" from "no valid
+        # interpretation exists" — these must stay separate branches.
+        assert not issubclass(errors.InconsistentReadingsError,
+                              errors.ReadingSequenceError)
+        assert not issubclass(errors.ReadingSequenceError,
+                              errors.InconsistentReadingsError)

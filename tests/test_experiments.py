@@ -1,0 +1,167 @@
+"""Tests for the experiment harness (workloads, runners, report tables)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import (
+    CONSTRAINT_CONFIGS,
+    RAW_CONFIG,
+    clean_trajectory,
+    run_cleaning_experiment,
+    run_query_time_experiment,
+    run_stay_accuracy_experiment,
+    run_trajectory_accuracy_experiment,
+)
+from repro.experiments.report import (
+    accuracy_table,
+    cleaning_table,
+    format_table,
+    query_time_table,
+)
+from repro.experiments.workloads import (
+    random_stay_queries,
+    random_trajectory_queries,
+)
+
+FAST_CONFIGS = {"CTG(DU)": ("DU",), "CTG(DU,LT)": ("DU", "LT")}
+
+
+class TestWorkloads:
+    def test_stay_queries_in_range(self, rng):
+        taus = random_stay_queries(50, 200, rng)
+        assert len(taus) == 200
+        assert all(0 <= tau < 50 for tau in taus)
+
+    def test_trajectory_queries_shape(self, one_floor, rng):
+        patterns = random_trajectory_queries(one_floor, 30, rng)
+        assert len(patterns) == 30
+        for pattern in patterns:
+            assert 2 <= pattern.num_conditions <= 4
+            names = set(one_floor.location_names)
+            assert set(pattern.mentioned_locations) <= names
+
+    def test_pinned_query_length(self, one_floor, rng):
+        patterns = random_trajectory_queries(one_floor, 10, rng,
+                                             num_locations=3)
+        assert all(p.num_conditions == 3 for p in patterns)
+
+    def test_visited_bias_concentrates_locations(self, one_floor):
+        import numpy as np
+        visited = ("F0_R1", "F0_R2")
+        patterns = random_trajectory_queries(
+            one_floor, 60, np.random.default_rng(3),
+            visited=visited, visited_bias=1.0)
+        for pattern in patterns:
+            assert set(pattern.mentioned_locations) <= set(visited)
+
+    def test_zero_bias_samples_whole_map(self, one_floor):
+        import numpy as np
+        patterns = random_trajectory_queries(
+            one_floor, 80, np.random.default_rng(5),
+            visited=("F0_R1",), visited_bias=0.0)
+        mentioned = {loc for p in patterns for loc in p.mentioned_locations}
+        # With bias 0, picks are uniform over the map: many distinct
+        # locations appear, not just the visited one.
+        assert len(mentioned) > 4
+
+
+class TestConfigs:
+    def test_paper_configurations(self):
+        assert list(CONSTRAINT_CONFIGS) == [
+            "CTG(DU)", "CTG(DU,LT)", "CTG(DU,LT,TT)"]
+
+
+class TestCleanTrajectory:
+    def test_returns_graph_and_timing(self, tiny_dataset):
+        trajectory = tiny_dataset.all_trajectories()[0]
+        graph, lsequence, seconds = clean_trajectory(
+            tiny_dataset, trajectory, ("DU",))
+        assert graph.duration == trajectory.duration
+        assert lsequence.duration == trajectory.duration
+        assert seconds >= 0.0
+
+
+class TestCleaningExperiment:
+    def test_measurements_cover_grid(self, tiny_dataset):
+        measurements = run_cleaning_experiment(tiny_dataset,
+                                               configs=FAST_CONFIGS)
+        assert len(measurements) == len(FAST_CONFIGS) * len(
+            tiny_dataset.durations)
+        for m in measurements:
+            assert m.mean_seconds > 0
+            assert m.mean_nodes > 0
+            assert m.mean_bytes > 0
+
+    def test_duration_filter(self, tiny_dataset):
+        first = tiny_dataset.durations[0]
+        measurements = run_cleaning_experiment(
+            tiny_dataset, configs=FAST_CONFIGS, durations=[first])
+        assert {m.duration for m in measurements} == {first}
+
+    def test_table_rendering(self, tiny_dataset):
+        measurements = run_cleaning_experiment(tiny_dataset,
+                                               configs=FAST_CONFIGS)
+        text = cleaning_table(measurements)
+        assert "clean_ms" in text
+        assert "CTG(DU)" in text
+
+
+class TestQueryTimeExperiment:
+    def test_measurements(self, tiny_dataset):
+        measurements = run_query_time_experiment(
+            tiny_dataset, configs=FAST_CONFIGS,
+            stay_queries=3, trajectory_queries=2)
+        assert len(measurements) == len(FAST_CONFIGS) * len(
+            tiny_dataset.durations)
+        for m in measurements:
+            assert m.mean_stay_seconds >= 0
+            assert m.mean_trajectory_seconds >= 0
+            assert m.mean_seconds >= 0
+        text = query_time_table(measurements)
+        assert "trajectory_ms" in text
+
+
+class TestAccuracyExperiments:
+    def test_stay_accuracy_includes_raw_baseline(self, tiny_dataset):
+        measurements = run_stay_accuracy_experiment(
+            tiny_dataset, configs=FAST_CONFIGS, queries_per_trajectory=10)
+        configs = [m.config for m in measurements]
+        assert configs[0] == RAW_CONFIG
+        assert set(configs) == {RAW_CONFIG, *FAST_CONFIGS}
+        for m in measurements:
+            assert 0.0 <= m.accuracy <= 1.0
+            assert m.kind == "stay"
+
+    def test_trajectory_accuracy(self, tiny_dataset):
+        measurements = run_trajectory_accuracy_experiment(
+            tiny_dataset, configs=FAST_CONFIGS, queries_per_trajectory=6)
+        assert {m.config for m in measurements} == {RAW_CONFIG, *FAST_CONFIGS}
+        for m in measurements:
+            assert m.kind == "trajectory"
+            assert 0.0 <= m.accuracy <= 1.0
+        text = accuracy_table(measurements)
+        assert "accuracy" in text
+
+    def test_trajectory_accuracy_by_length(self, tiny_dataset):
+        measurements = run_trajectory_accuracy_experiment(
+            tiny_dataset, configs={"CTG(DU)": ("DU",)},
+            queries_per_trajectory=6, by_query_length=True)
+        lengths = {m.query_length for m in measurements}
+        assert lengths == {2, 3, 4}
+
+    def test_determinism(self, tiny_dataset):
+        a = run_stay_accuracy_experiment(tiny_dataset, configs=FAST_CONFIGS,
+                                         queries_per_trajectory=5, seed=9)
+        b = run_stay_accuracy_experiment(tiny_dataset, configs=FAST_CONFIGS,
+                                         queries_per_trajectory=5, seed=9)
+        assert [(m.config, m.accuracy) for m in a] == \
+            [(m.config, m.accuracy) for m in b]
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)

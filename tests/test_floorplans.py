@@ -1,0 +1,103 @@
+"""Tests for the ready-made floor plans (paper maps, SYN1/SYN2)."""
+
+import pytest
+
+from repro.errors import MapModelError
+from repro.mapmodel.floorplans import (
+    corridor_map,
+    multi_floor_building,
+    syn1_building,
+    syn2_building,
+    two_room_map,
+)
+
+
+class TestTwoRoomMap:
+    def test_structure(self):
+        b = two_room_map()
+        assert set(b.location_names) == {"A", "B"}
+        assert b.are_adjacent("A", "B")
+        b.validate()
+
+
+class TestCorridorMap:
+    def test_rooms_connect_only_through_corridor(self):
+        b = corridor_map(4)
+        assert len(b) == 5
+        for i in range(1, 5):
+            assert b.neighbors(f"room{i}") == ("corridor",)
+        assert len(b.neighbors("corridor")) == 4
+
+    def test_zero_rooms_rejected(self):
+        with pytest.raises(MapModelError):
+            corridor_map(0)
+
+    def test_corridor_is_transit(self):
+        b = corridor_map(2)
+        assert b.location("corridor").is_transit
+        assert not b.location("room1").is_transit
+
+
+class TestPaperFloor:
+    def test_floor_inventory(self):
+        b = multi_floor_building(1)
+        names = set(b.location_names)
+        assert "F0_corridor" in names
+        assert "F0_stairs" in names
+        assert {f"F0_R{i}" for i in range(1, 7)} <= names
+        assert len(names) == 8
+
+    def test_every_room_reaches_the_corridor(self):
+        b = multi_floor_building(1)
+        for i in range(1, 7):
+            assert b.are_adjacent(f"F0_R{i}", "F0_corridor")
+
+    def test_room_to_room_shortcuts(self):
+        b = multi_floor_building(1)
+        assert b.are_adjacent("F0_R1", "F0_R2")
+        assert b.are_adjacent("F0_R5", "F0_R6")
+        assert not b.are_adjacent("F0_R2", "F0_R3")
+        assert not b.are_adjacent("F0_R1", "F0_R4")
+
+
+class TestMultiFloor:
+    def test_zero_floors_rejected(self):
+        with pytest.raises(MapModelError):
+            multi_floor_building(0)
+
+    def test_stairs_chain_floors(self):
+        b = multi_floor_building(3)
+        assert b.are_adjacent("F0_stairs", "F1_stairs")
+        assert b.are_adjacent("F1_stairs", "F2_stairs")
+        assert not b.are_adjacent("F0_stairs", "F2_stairs")
+
+    def test_stairs_have_positive_flight_length(self):
+        b = multi_floor_building(2)
+        flights = [d for d in b.doors
+                   if b.location(d.loc_a).floor != b.location(d.loc_b).floor]
+        assert len(flights) == 1
+        assert flights[0].length > 0
+
+    def test_floor_counts(self):
+        assert multi_floor_building(2).floors == (0, 1)
+        assert len(multi_floor_building(2)) == 16
+
+
+class TestSynBuildings:
+    def test_syn1_is_four_floors(self):
+        b = syn1_building()
+        assert b.name == "SYN1"
+        assert b.floors == (0, 1, 2, 3)
+        assert len(b) == 32
+
+    def test_syn2_is_eight_floors(self):
+        b = syn2_building()
+        assert b.name == "SYN2"
+        assert len(b.floors) == 8
+        assert len(b) == 64
+
+    def test_syn_buildings_are_fully_connected(self):
+        b = syn2_building()
+        pairs = b.connected_location_pairs()
+        n = len(b)
+        assert len(pairs) == n * (n - 1)

@@ -1,0 +1,194 @@
+"""Tests for the streaming cleaner (online frontier + exact finalize)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithm import build_ct_graph
+from repro.core.constraints import (
+    ConstraintSet,
+    Latency,
+    TravelingTime,
+    Unreachable,
+)
+from repro.core.incremental import IncrementalCleaner
+from repro.core.lsequence import LSequence
+from repro.errors import InconsistentReadingsError, ReadingSequenceError
+
+
+@pytest.fixture
+def constraints():
+    return ConstraintSet([Unreachable("A", "C"), Unreachable("C", "A"),
+                          Latency("B", 2)])
+
+
+class TestExtend:
+    def test_empty_distribution_rejected(self, constraints):
+        cleaner = IncrementalCleaner(constraints)
+        with pytest.raises(ReadingSequenceError):
+            cleaner.extend({})
+
+    def test_duration_tracks_ingestion(self, constraints):
+        cleaner = IncrementalCleaner(constraints)
+        assert cleaner.duration == 0
+        cleaner.extend({"A": 1.0})
+        cleaner.extend({"A": 0.5, "B": 0.5})
+        assert cleaner.duration == 2
+
+    def test_inconsistent_stream_raises_and_preserves_state(self, constraints):
+        cleaner = IncrementalCleaner(constraints)
+        cleaner.extend({"A": 1.0})
+        with pytest.raises(InconsistentReadingsError):
+            cleaner.extend({"C": 1.0})     # A -> C is forbidden
+        # State unchanged: the cleaner can continue with a sane reading.
+        assert cleaner.duration == 1
+        cleaner.extend({"B": 1.0})
+        assert cleaner.duration == 2
+
+    def test_extend_reading_needs_prior(self, constraints):
+        cleaner = IncrementalCleaner(constraints)
+        with pytest.raises(ReadingSequenceError):
+            cleaner.extend_reading({"r1"})
+
+    def test_extend_reading_via_prior(self, constraints):
+        class FakePrior:
+            def distribution(self, readers):
+                return {"A": 1.0} if readers else {"A": 0.5, "B": 0.5}
+
+        cleaner = IncrementalCleaner(constraints, prior=FakePrior())
+        cleaner.extend_reading({"r"})
+        cleaner.extend_reading(set())
+        assert cleaner.duration == 2
+        assert set(cleaner.filtered_distribution()) == {"A", "B"}
+
+
+class TestFilteredDistribution:
+    def test_requires_data(self, constraints):
+        with pytest.raises(ReadingSequenceError):
+            IncrementalCleaner(constraints).filtered_distribution()
+
+    def test_sums_to_one(self, constraints):
+        cleaner = IncrementalCleaner(constraints)
+        for row in ({"A": 0.5, "B": 0.5}, {"B": 0.7, "C": 0.3},
+                    {"B": 0.5, "C": 0.5}):
+            cleaner.extend(row)
+            assert math.fsum(cleaner.filtered_distribution().values()) \
+                == pytest.approx(1.0)
+
+    def test_filtering_respects_constraints(self, constraints):
+        cleaner = IncrementalCleaner(constraints)
+        cleaner.extend({"A": 1.0})
+        cleaner.extend({"B": 0.5, "C": 0.5})
+        # A -> C is forbidden, so the filtered mass is all on B.
+        assert cleaner.filtered_distribution() == {"B": pytest.approx(1.0)}
+
+    def test_filtered_equals_prefix_conditioning(self, constraints):
+        """Filtering == batch-conditioning the prefix, marginal at the end."""
+        rows = [{"A": 0.5, "B": 0.5}, {"B": 0.6, "C": 0.4},
+                {"B": 0.5, "C": 0.5}, {"A": 0.3, "B": 0.7}]
+        cleaner = IncrementalCleaner(constraints)
+        for tau, row in enumerate(rows):
+            cleaner.extend(row)
+            prefix_graph = build_ct_graph(LSequence(rows[:tau + 1]),
+                                          constraints)
+            expected = prefix_graph.location_marginal(tau)
+            got = cleaner.filtered_distribution()
+            assert set(got) == set(expected)
+            for location, probability in expected.items():
+                assert got[location] == pytest.approx(probability)
+
+    def test_long_stream_does_not_underflow(self, constraints):
+        cleaner = IncrementalCleaner(constraints)
+        for _ in range(800):
+            cleaner.extend({"A": 0.4, "B": 0.4, "C": 0.2})
+        distribution = cleaner.filtered_distribution()
+        assert math.fsum(distribution.values()) == pytest.approx(1.0)
+        assert cleaner.frontier_size() >= 1
+
+
+class TestFinalize:
+    def test_requires_data(self, constraints):
+        with pytest.raises(ReadingSequenceError):
+            IncrementalCleaner(constraints).finalize()
+
+    def test_finalize_equals_batch(self, constraints):
+        rows = [{"A": 0.5, "B": 0.5}, {"B": 0.6, "C": 0.4},
+                {"B": 0.5, "C": 0.5}]
+        cleaner = IncrementalCleaner(constraints)
+        for row in rows:
+            cleaner.extend(row)
+        streamed = cleaner.finalize()
+        batch = build_ct_graph(LSequence(rows), constraints)
+        assert dict(streamed.paths()) == pytest.approx(dict(batch.paths()))
+
+    def test_finalize_then_continue(self, constraints):
+        cleaner = IncrementalCleaner(constraints)
+        cleaner.extend({"A": 1.0})
+        first = cleaner.finalize()
+        assert first.duration == 1
+        cleaner.extend({"A": 0.5, "B": 0.5})
+        second = cleaner.finalize()
+        assert second.duration == 2
+        assert first.duration == 1    # earlier result untouched
+
+
+# ----------------------------------------------------------------------
+# property test: streaming == batch on random instances
+# ----------------------------------------------------------------------
+
+locations = st.sampled_from("ABC")
+
+
+@st.composite
+def streams(draw):
+    duration = draw(st.integers(min_value=1, max_value=5))
+    rows = []
+    for _ in range(duration):
+        support = draw(st.lists(locations, min_size=1, max_size=3, unique=True))
+        weights = [draw(st.floats(min_value=0.1, max_value=1.0))
+                   for _ in support]
+        total = sum(weights)
+        rows.append({l: w / total for l, w in zip(support, weights)})
+    constraints = []
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        kind = draw(st.sampled_from(["du", "lt", "tt"]))
+        if kind == "du":
+            constraints.append(Unreachable(draw(locations), draw(locations)))
+        elif kind == "lt":
+            constraints.append(Latency(draw(locations), draw(st.integers(2, 3))))
+        else:
+            a = draw(locations)
+            b = draw(locations.filter(lambda x: x != a))
+            constraints.append(TravelingTime(a, b, draw(st.integers(2, 3))))
+    return rows, ConstraintSet(constraints)
+
+
+@settings(max_examples=200, deadline=None)
+@given(streams())
+def test_streaming_matches_batch(stream):
+    rows, constraints = stream
+    cleaner = IncrementalCleaner(constraints)
+    failed_online = False
+    try:
+        for row in rows:
+            cleaner.extend(row)
+    except InconsistentReadingsError:
+        failed_online = True
+    try:
+        batch = build_ct_graph(LSequence(rows), constraints)
+    except InconsistentReadingsError:
+        batch = None
+    if failed_online:
+        # The online cleaner fails as soon as *some prefix* has no valid
+        # continuation; the batch run on the full sequence must fail too.
+        assert batch is None
+        return
+    if batch is None:
+        return  # prefix stayed alive but the whole sequence is inconsistent
+    streamed = cleaner.finalize()
+    expected = dict(batch.paths())
+    got = dict(streamed.paths())
+    assert set(got) == set(expected)
+    for trajectory, probability in expected.items():
+        assert got[trajectory] == pytest.approx(probability, abs=1e-9)

@@ -1,0 +1,116 @@
+"""End-to-end integration tests: the full pipeline, on real (tiny) datasets.
+
+These pin the facts the paper's evaluation depends on:
+
+* generated ground truth is valid under every inferred constraint set;
+* the ground truth is always represented in the cleaned ct-graph;
+* cleaning never *hurts* much and on average helps (accuracy ordering);
+* richer constraint sets yield larger graphs and longer cleaning times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import build_ct_graph
+from repro.core.lsequence import LSequence
+from repro.core.validity import violations
+from repro.inference import MotilityProfile, infer_constraints
+from repro.queries.stay import stay_query, stay_query_prior
+from repro.queries.accuracy import stay_accuracy
+
+CONFIGS = (("DU",), ("DU", "LT"), ("DU", "LT", "TT"))
+
+
+@pytest.fixture(scope="module")
+def cleaned(tiny_dataset):
+    """Every trajectory cleaned under every configuration."""
+    profile = MotilityProfile()
+    results = {}
+    for kinds in CONFIGS:
+        constraints = infer_constraints(tiny_dataset.building, profile,
+                                        kinds=kinds,
+                                        distances=tiny_dataset.distances)
+        for index, trajectory in enumerate(tiny_dataset.all_trajectories()):
+            lsequence = LSequence.from_readings(trajectory.readings,
+                                                tiny_dataset.prior)
+            graph = build_ct_graph(lsequence, constraints)
+            results[(kinds, index)] = (trajectory, lsequence, graph)
+    return results
+
+
+class TestGroundTruthSurvival:
+    def test_truth_valid_under_all_inferred_sets(self, tiny_dataset):
+        profile = MotilityProfile()
+        for kinds in CONFIGS:
+            constraints = infer_constraints(tiny_dataset.building, profile,
+                                            kinds=kinds,
+                                            distances=tiny_dataset.distances)
+            for trajectory in tiny_dataset.all_trajectories():
+                assert violations(trajectory.truth.locations,
+                                  constraints) == []
+
+    def test_truth_has_positive_prior_support(self, tiny_dataset):
+        for trajectory in tiny_dataset.all_trajectories():
+            lsequence = LSequence.from_readings(trajectory.readings,
+                                                tiny_dataset.prior)
+            truth = trajectory.truth.locations
+            for tau in range(len(truth)):
+                assert lsequence.probability(tau, truth[tau]) > 0.0
+
+    def test_truth_is_a_path_of_every_graph(self, cleaned):
+        for (kinds, index), (trajectory, _, graph) in cleaned.items():
+            truth = tuple(trajectory.truth.locations)
+            assert graph.trajectory_probability(truth) > 0.0, (kinds, index)
+
+
+class TestGraphInvariants:
+    def test_all_graphs_validate(self, cleaned):
+        for (_, _), (_, _, graph) in cleaned.items():
+            graph.validate()
+
+    def test_stay_distributions_normalised(self, cleaned):
+        import math
+        for (_, _), (_, _, graph) in cleaned.items():
+            for tau in range(0, graph.duration, 7):
+                total = math.fsum(stay_query(graph, tau).values())
+                assert total == pytest.approx(1.0)
+
+
+class TestEvaluationShapes:
+    def test_cleaning_improves_average_stay_accuracy(self, cleaned,
+                                                     tiny_dataset):
+        """The paper's headline: conditioning beats the raw prior."""
+        raw_scores, cleaned_scores = [], []
+        for (kinds, index), (trajectory, lsequence, graph) in cleaned.items():
+            if kinds != ("DU", "LT", "TT"):
+                continue
+            truth = trajectory.truth.locations
+            for tau in range(trajectory.duration):
+                raw_scores.append(stay_accuracy(
+                    stay_query_prior(lsequence, tau), truth[tau]))
+                cleaned_scores.append(stay_accuracy(
+                    stay_query(graph, tau), truth[tau]))
+        assert np.mean(cleaned_scores) > np.mean(raw_scores)
+
+    def test_richer_constraints_monotone_graph_size(self, cleaned):
+        """DU+LT+TT graphs are at least as large as DU graphs (Section 6.7)."""
+        by_index = {}
+        for (kinds, index), (_, _, graph) in cleaned.items():
+            by_index.setdefault(index, {})[kinds] = graph
+        for index, graphs in by_index.items():
+            du = graphs[("DU",)].num_nodes
+            full = graphs[("DU", "LT", "TT")].num_nodes
+            assert full >= du
+
+    def test_constraints_shrink_interpretation_space(self, cleaned):
+        """Valid trajectories are (weakly) fewer with each added kind."""
+        by_index = {}
+        for (kinds, index), (_, lsequence, graph) in cleaned.items():
+            by_index.setdefault(index, {})[kinds] = (lsequence, graph)
+        for index, entry in by_index.items():
+            lsequence, du_graph = entry[("DU",)]
+            assert du_graph.num_valid_trajectories() \
+                <= lsequence.num_trajectories()
+            _, full_graph = entry[("DU", "LT", "TT")]
+            assert full_graph.num_valid_trajectories() \
+                <= du_graph.num_valid_trajectories()

@@ -1,0 +1,112 @@
+"""Tests for readings, reading sequences and l-sequences."""
+
+import math
+
+import pytest
+
+from repro.core.lsequence import LSequence, Reading, ReadingSequence
+from repro.errors import ReadingSequenceError
+
+
+class TestReading:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ReadingSequenceError):
+            Reading(-1, frozenset())
+
+    def test_readers_coerced_to_frozenset(self):
+        reading = Reading(0, {"a", "b"})
+        assert isinstance(reading.readers, frozenset)
+        assert reading.readers == {"a", "b"}
+
+    def test_str(self):
+        assert str(Reading(3, frozenset())) == "(3, {-})"
+        assert str(Reading(0, frozenset({"r1"}))) == "(0, {r1})"
+
+
+class TestReadingSequence:
+    def test_empty_rejected(self):
+        with pytest.raises(ReadingSequenceError):
+            ReadingSequence([])
+
+    def test_gap_rejected(self):
+        with pytest.raises(ReadingSequenceError):
+            ReadingSequence([Reading(0, frozenset()), Reading(2, frozenset())])
+
+    def test_duplicate_timestamp_rejected(self):
+        with pytest.raises(ReadingSequenceError):
+            ReadingSequence([Reading(0, frozenset()), Reading(0, frozenset())])
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ReadingSequenceError):
+            ReadingSequence([Reading(1, frozenset())])
+
+    def test_sorts_by_time(self):
+        seq = ReadingSequence([Reading(1, frozenset({"b"})),
+                               Reading(0, frozenset({"a"}))])
+        assert seq[0].readers == {"a"}
+        assert seq[1].readers == {"b"}
+
+    def test_from_reader_sets(self):
+        seq = ReadingSequence.from_reader_sets([{"a"}, set(), {"b", "c"}])
+        assert seq.duration == 3
+        assert seq[2].readers == {"b", "c"}
+
+    def test_iteration(self):
+        seq = ReadingSequence.from_reader_sets([{"a"}, {"b"}])
+        assert [r.time for r in seq] == [0, 1]
+
+
+class TestLSequence:
+    def test_empty_rejected(self):
+        with pytest.raises(ReadingSequenceError):
+            LSequence([])
+
+    def test_empty_step_rejected(self):
+        with pytest.raises(ReadingSequenceError):
+            LSequence([{"A": 1.0}, {}])
+
+    def test_non_normalised_step_rejected(self):
+        with pytest.raises(ReadingSequenceError):
+            LSequence([{"A": 0.4, "B": 0.4}])
+
+    def test_zero_probability_entries_dropped(self):
+        ls = LSequence([{"A": 1.0, "B": 0.0}])
+        assert ls.support(0) == ("A",)
+
+    def test_small_drift_is_renormalised(self):
+        ls = LSequence([{"A": 0.5000001, "B": 0.5}])
+        assert math.fsum(ls.candidates(0).values()) == pytest.approx(1.0)
+
+    def test_candidates_and_probability(self, uniform_lsequence):
+        assert uniform_lsequence.probability(0, "A") == 0.5
+        assert uniform_lsequence.probability(0, "Z") == 0.0
+        with pytest.raises(ReadingSequenceError):
+            uniform_lsequence.candidates(10)
+
+    def test_num_trajectories(self, uniform_lsequence):
+        assert uniform_lsequence.num_trajectories() == 8
+
+    def test_trajectories_enumeration(self, uniform_lsequence):
+        all_t = dict(uniform_lsequence.trajectories())
+        assert len(all_t) == 8
+        assert math.fsum(all_t.values()) == pytest.approx(1.0)
+        assert all_t[("A", "B", "C")] == pytest.approx(0.125)
+
+    def test_trajectory_prior(self, uniform_lsequence):
+        assert uniform_lsequence.trajectory_prior(("A", "B", "C")) \
+            == pytest.approx(0.125)
+        assert uniform_lsequence.trajectory_prior(("A", "A", "C")) == 0.0
+        with pytest.raises(ReadingSequenceError):
+            uniform_lsequence.trajectory_prior(("A",))
+
+    def test_from_readings_uses_prior(self):
+        class FakePrior:
+            def distribution(self, readers):
+                if readers:
+                    return {"A": 1.0}
+                return {"A": 0.5, "B": 0.5}
+
+        readings = ReadingSequence.from_reader_sets([{"r"}, set()])
+        ls = LSequence.from_readings(readings, FakePrior())
+        assert ls.support(0) == ("A",)
+        assert set(ls.support(1)) == {"A", "B"}

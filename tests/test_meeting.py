@@ -1,0 +1,145 @@
+"""Tests for contact (co-location) queries over two cleaned graphs."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithm import build_ct_graph
+from repro.core.constraints import ConstraintSet, Latency, Unreachable
+from repro.core.lsequence import LSequence
+from repro.core.naive import NaiveConditioner
+from repro.errors import InconsistentReadingsError, QueryError
+from repro.queries.meeting import (
+    colocation_profile,
+    meeting_probability,
+    meeting_time_distribution,
+)
+
+
+def meeting_by_enumeration(ls_a, ls_b, constraints):
+    """Reference: enumerate both conditioned distributions and join."""
+    a = NaiveConditioner(ls_a, constraints).conditioned_distribution()
+    b = NaiveConditioner(ls_b, constraints).conditioned_distribution()
+    first: dict = {}
+    profile = [0.0] * ls_a.duration
+    for ta, pa in a.items():
+        for tb, pb in b.items():
+            mass = pa * pb
+            met_at = None
+            for tau, (la, lb) in enumerate(zip(ta, tb)):
+                if la == lb:
+                    profile[tau] += mass
+                    if met_at is None:
+                        met_at = tau
+            if met_at is not None:
+                first[met_at] = first.get(met_at, 0.0) + mass
+    return first, profile
+
+
+@pytest.fixture
+def pair():
+    constraints = ConstraintSet([Unreachable("A", "C")])
+    ls_a = LSequence([{"A": 0.5, "B": 0.5}, {"B": 0.6, "C": 0.4},
+                      {"A": 0.5, "C": 0.5}])
+    ls_b = LSequence([{"B": 0.7, "C": 0.3}, {"B": 0.5, "C": 0.5},
+                      {"C": 1.0}])
+    return (constraints, ls_a, ls_b,
+            build_ct_graph(ls_a, constraints),
+            build_ct_graph(ls_b, constraints))
+
+
+class TestMeetingQueries:
+    def test_duration_mismatch_rejected(self, pair):
+        _, _, _, graph_a, _ = pair
+        short = build_ct_graph(LSequence([{"A": 1.0}]), ConstraintSet())
+        with pytest.raises(QueryError):
+            meeting_probability(graph_a, short)
+        with pytest.raises(QueryError):
+            colocation_profile(graph_a, short)
+
+    def test_first_meeting_matches_enumeration(self, pair):
+        constraints, ls_a, ls_b, graph_a, graph_b = pair
+        expected_first, _ = meeting_by_enumeration(ls_a, ls_b, constraints)
+        got = meeting_time_distribution(graph_a, graph_b)
+        assert set(got) == set(expected_first)
+        for tau, probability in expected_first.items():
+            assert got[tau] == pytest.approx(probability)
+
+    def test_profile_matches_enumeration(self, pair):
+        constraints, ls_a, ls_b, graph_a, graph_b = pair
+        _, expected_profile = meeting_by_enumeration(ls_a, ls_b, constraints)
+        got = colocation_profile(graph_a, graph_b)
+        assert len(got) == len(expected_profile)
+        for value, expected in zip(got, expected_profile):
+            assert value == pytest.approx(expected)
+
+    def test_meeting_probability_is_total_first_mass(self, pair):
+        _, _, _, graph_a, graph_b = pair
+        total = math.fsum(
+            meeting_time_distribution(graph_a, graph_b).values())
+        assert meeting_probability(graph_a, graph_b) == pytest.approx(total)
+
+    def test_identical_deterministic_graphs_always_meet(self):
+        ls = LSequence([{"A": 1.0}, {"B": 1.0}])
+        graph = build_ct_graph(ls, ConstraintSet())
+        assert meeting_probability(graph, graph) == pytest.approx(1.0)
+        assert meeting_time_distribution(graph, graph) == {
+            0: pytest.approx(1.0)}
+
+    def test_disjoint_supports_never_meet(self):
+        constraints = ConstraintSet()
+        graph_a = build_ct_graph(LSequence([{"A": 1.0}, {"A": 1.0}]),
+                                 constraints)
+        graph_b = build_ct_graph(LSequence([{"B": 1.0}, {"C": 1.0}]),
+                                 constraints)
+        assert meeting_probability(graph_a, graph_b) == 0.0
+        assert meeting_time_distribution(graph_a, graph_b) == {}
+        assert colocation_profile(graph_a, graph_b) == [0.0, 0.0]
+
+
+locations = st.sampled_from("ABC")
+
+
+@st.composite
+def meeting_instances(draw):
+    duration = draw(st.integers(min_value=1, max_value=4))
+
+    def lseq():
+        rows = []
+        for _ in range(duration):
+            support = draw(st.lists(locations, min_size=1, max_size=3,
+                                    unique=True))
+            weights = [draw(st.floats(min_value=0.1, max_value=1.0))
+                       for _ in support]
+            total = sum(weights)
+            rows.append({l: w / total for l, w in zip(support, weights)})
+        return LSequence(rows)
+
+    constraints = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        if draw(st.booleans()):
+            constraints.append(Unreachable(draw(locations), draw(locations)))
+        else:
+            constraints.append(Latency(draw(locations), draw(st.integers(2, 3))))
+    return lseq(), lseq(), ConstraintSet(constraints)
+
+
+@settings(max_examples=150, deadline=None)
+@given(meeting_instances())
+def test_meeting_property(instance):
+    ls_a, ls_b, constraints = instance
+    try:
+        graph_a = build_ct_graph(ls_a, constraints)
+        graph_b = build_ct_graph(ls_b, constraints)
+    except InconsistentReadingsError:
+        return
+    expected_first, expected_profile = meeting_by_enumeration(
+        ls_a, ls_b, constraints)
+    got_first = meeting_time_distribution(graph_a, graph_b)
+    assert set(got_first) == set(expected_first)
+    for tau, probability in expected_first.items():
+        assert got_first[tau] == pytest.approx(probability, abs=1e-9)
+    got_profile = colocation_profile(graph_a, graph_b)
+    for value, expected in zip(got_profile, expected_profile):
+        assert value == pytest.approx(expected, abs=1e-9)

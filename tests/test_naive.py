@@ -1,0 +1,75 @@
+"""Tests for the naive enumeration conditioner."""
+
+import math
+
+import pytest
+
+from repro.core.constraints import ConstraintSet, Latency, Unreachable
+from repro.core.lsequence import LSequence
+from repro.core.naive import NaiveConditioner
+from repro.errors import InconsistentReadingsError, ReadingSequenceError
+
+
+class TestEnumerationLimit:
+    def test_large_instances_refused(self):
+        ls = LSequence([{"A": 0.5, "B": 0.5}] * 30)
+        with pytest.raises(ReadingSequenceError):
+            NaiveConditioner(ls, ConstraintSet(), enumeration_limit=1000)
+
+    def test_limit_can_be_disabled(self):
+        ls = LSequence([{"A": 0.5, "B": 0.5}] * 12)
+        conditioner = NaiveConditioner(ls, ConstraintSet(),
+                                       enumeration_limit=None)
+        assert len(conditioner.conditioned_distribution()) == 2 ** 12
+
+
+class TestConditioning:
+    def test_invalid_trajectories_excluded(self):
+        ls = LSequence([{"A": 0.5, "B": 0.5}, {"C": 1.0}])
+        cs = ConstraintSet([Unreachable("B", "C")])
+        conditioner = NaiveConditioner(ls, cs)
+        distribution = conditioner.conditioned_distribution()
+        assert distribution == {("A", "C"): pytest.approx(1.0)}
+
+    def test_distribution_sums_to_one(self, uniform_lsequence):
+        cs = ConstraintSet([Unreachable("A", "B")])
+        conditioner = NaiveConditioner(uniform_lsequence, cs)
+        total = math.fsum(conditioner.conditioned_distribution().values())
+        assert total == pytest.approx(1.0)
+
+    def test_probability_of_invalid_is_zero(self):
+        ls = LSequence([{"A": 0.5, "B": 0.5}, {"C": 1.0}])
+        cs = ConstraintSet([Unreachable("B", "C")])
+        conditioner = NaiveConditioner(ls, cs)
+        assert conditioner.probability(("B", "C")) == 0.0
+        assert conditioner.probability(("A", "C")) == pytest.approx(1.0)
+
+    def test_inconsistent_raises(self):
+        ls = LSequence([{"A": 1.0}, {"B": 1.0}])
+        cs = ConstraintSet([Unreachable("A", "B")])
+        with pytest.raises(InconsistentReadingsError):
+            NaiveConditioner(ls, cs).conditioned_distribution()
+
+    def test_strict_truncation_respected(self):
+        ls = LSequence([{"A": 1.0}, {"B": 1.0}])
+        cs = ConstraintSet([Latency("B", 3)])
+        lenient = NaiveConditioner(ls, cs)
+        assert len(lenient.conditioned_distribution()) == 1
+        strict = NaiveConditioner(ls, cs, strict_truncation=True)
+        with pytest.raises(InconsistentReadingsError):
+            strict.conditioned_distribution()
+
+    def test_location_marginal(self):
+        ls = LSequence([{"A": 0.5, "B": 0.5}, {"C": 0.5, "D": 0.5}])
+        cs = ConstraintSet([Unreachable("B", "C")])
+        conditioner = NaiveConditioner(ls, cs)
+        marginal = conditioner.location_marginal(0)
+        # Valid: AC (.25), AD (.25), BD (.25) -> renormalised.
+        assert marginal["A"] == pytest.approx(2 / 3)
+        assert marginal["B"] == pytest.approx(1 / 3)
+
+    def test_valid_trajectories_report_priors(self):
+        ls = LSequence([{"A": 0.6, "B": 0.4}])
+        conditioner = NaiveConditioner(ls, ConstraintSet())
+        assert dict(conditioner.valid_trajectories()) == {
+            ("A",): pytest.approx(0.6), ("B",): pytest.approx(0.4)}

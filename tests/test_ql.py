@@ -1,0 +1,132 @@
+"""Tests for the mini query language over ct-graphs."""
+
+import pytest
+
+from repro.core.algorithm import build_ct_graph
+from repro.core.constraints import ConstraintSet, Unreachable
+from repro.core.lsequence import LSequence
+from repro.errors import PatternSyntaxError, QueryError
+from repro.queries.analytics import most_likely_trajectory
+from repro.queries.ql import execute
+from repro.queries.stay import stay_query
+
+
+@pytest.fixture
+def graph():
+    ls = LSequence([{"A": 0.6, "B": 0.4},
+                    {"B": 0.5, "C": 0.5},
+                    {"C": 0.7, "D": 0.3}])
+    cs = ConstraintSet([Unreachable("A", "C")])
+    return build_ct_graph(ls, cs)
+
+
+class TestStatements:
+    def test_stay(self, graph):
+        result = execute(graph, "STAY 1")
+        assert result.kind == "stay"
+        assert result.value == stay_query(graph, 1)
+        assert "B" in result.format()
+
+    def test_match(self, graph):
+        result = execute(graph, "MATCH ? C ?")
+        assert result.kind == "match"
+        assert 0.0 <= result.value <= 1.0
+        assert result.format() == f"{result.value:.4f}"
+
+    def test_visit(self, graph):
+        result = execute(graph, "VISIT C")
+        assert result.kind == "visit"
+        assert 0.0 < result.value <= 1.0
+
+    def test_span(self, graph):
+        result = execute(graph, "SPAN B 1 1")
+        assert result.kind == "visit"
+        from repro.queries.stay import stay_query
+        assert result.value == pytest.approx(stay_query(graph, 1).get("B", 0))
+
+    def test_span_argument_errors(self, graph):
+        with pytest.raises(QueryError):
+            execute(graph, "SPAN B 1")
+        with pytest.raises(QueryError):
+            execute(graph, "SPAN B one two")
+
+    def test_first(self, graph):
+        result = execute(graph, "FIRST C")
+        assert result.kind == "first"
+        assert all(isinstance(tau, int) for tau in result.value)
+        assert "never" in result.format()
+
+    def test_dwell(self, graph):
+        import math
+        result = execute(graph, "DWELL B")
+        assert result.kind == "dwell"
+        assert math.fsum(result.value.values()) == pytest.approx(1.0)
+        assert "steps" in result.format()
+        with pytest.raises(QueryError):
+            execute(graph, "DWELL")
+
+    def test_expected(self, graph):
+        result = execute(graph, "EXPECTED")
+        assert result.kind == "expected"
+        assert sum(result.value.values()) == pytest.approx(graph.duration)
+
+    def test_best(self, graph):
+        result = execute(graph, "BEST")
+        assert result.value == most_likely_trajectory(graph)
+        assert "p=" in result.format()
+
+    def test_top(self, graph):
+        result = execute(graph, "TOP 3")
+        assert result.kind == "top"
+        assert len(result.value) == 3
+        assert "#1" in result.format()
+
+    def test_entropy(self, graph):
+        result = execute(graph, "ENTROPY")
+        assert result.kind == "entropy"
+        assert len(result.value) == graph.duration
+        assert "peak=" in result.format()
+
+    def test_keywords_case_insensitive(self, graph):
+        assert execute(graph, "stay 0").kind == "stay"
+        assert execute(graph, "Top 2").kind == "top"
+
+
+class TestErrors:
+    def test_empty_query(self, graph):
+        with pytest.raises(QueryError):
+            execute(graph, "   ")
+
+    def test_unknown_statement(self, graph):
+        with pytest.raises(QueryError):
+            execute(graph, "DELETE everything")
+
+    def test_stay_needs_integer(self, graph):
+        with pytest.raises(QueryError):
+            execute(graph, "STAY soon")
+
+    def test_stay_out_of_range(self, graph):
+        with pytest.raises(QueryError):
+            execute(graph, "STAY 99")
+
+    def test_match_needs_pattern(self, graph):
+        with pytest.raises(QueryError):
+            execute(graph, "MATCH")
+
+    def test_match_bad_pattern(self, graph):
+        with pytest.raises(PatternSyntaxError):
+            execute(graph, "MATCH A[")
+
+    def test_visit_needs_location(self, graph):
+        with pytest.raises(QueryError):
+            execute(graph, "VISIT")
+
+    def test_no_argument_statements_reject_arguments(self, graph):
+        with pytest.raises(QueryError):
+            execute(graph, "BEST guess")
+        with pytest.raises(QueryError):
+            execute(graph, "ENTROPY now")
+
+    def test_top_needs_count(self, graph):
+        with pytest.raises(QueryError):
+            execute(graph, "TOP many")

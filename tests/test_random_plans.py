@@ -1,0 +1,63 @@
+"""Tests (incl. map-level property tests) for the random building generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MapModelError
+from repro.mapmodel.random_plans import random_building
+
+
+class TestRandomBuilding:
+    def test_validation(self):
+        with pytest.raises(MapModelError):
+            random_building(num_floors=0)
+        with pytest.raises(MapModelError):
+            random_building(rooms_x=0)
+        with pytest.raises(MapModelError):
+            random_building(num_floors=2, rooms_x=1, rooms_y=1)
+
+    def test_shape(self):
+        b = random_building(num_floors=2, rooms_x=3, rooms_y=2,
+                            rng=np.random.default_rng(0))
+        assert len(b) == 12
+        assert b.floors == (0, 1)
+
+    def test_deterministic_given_rng(self):
+        a = random_building(rng=np.random.default_rng(5))
+        b = random_building(rng=np.random.default_rng(5))
+        assert a.location_names == b.location_names
+        assert [(d.loc_a, d.loc_b) for d in a.doors] == \
+            [(d.loc_a, d.loc_b) for d in b.doors]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_always_fully_connected(self, seed):
+        b = random_building(num_floors=2, rooms_x=4, rooms_y=3,
+                            rng=np.random.default_rng(seed))
+        n = len(b)
+        assert len(b.connected_location_pairs()) == n * (n - 1)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pipeline_runs_end_to_end(self, seed):
+        """Random map -> constraints -> ground truth -> validity."""
+        from repro.core.validity import violations
+        from repro.inference import MotilityProfile, infer_constraints
+        from repro.simulation.trajectories import TrajectoryGenerator
+
+        rng = np.random.default_rng(seed)
+        building = random_building(num_floors=1, rooms_x=3, rooms_y=3,
+                                   extra_door_fraction=0.5, rng=rng)
+        constraints = infer_constraints(building, MotilityProfile())
+        truth = TrajectoryGenerator(building, rng=rng).generate(300)
+        assert violations(truth.locations, constraints) == []
+
+    def test_transit_fraction_zero(self):
+        b = random_building(transit_fraction=0.0,
+                            rng=np.random.default_rng(1))
+        kinds = {loc.kind for loc in b.locations}
+        assert "corridor" not in kinds
+
+    def test_staircase_landing_present(self):
+        b = random_building(num_floors=3, rng=np.random.default_rng(2))
+        for floor in range(3):
+            assert b.location(f"F{floor}_G0_0").kind == "staircase"
+        assert b.are_adjacent("F0_G0_0", "F1_G0_0")

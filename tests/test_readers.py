@@ -1,0 +1,119 @@
+"""Tests for the reader model (placement and detection physics)."""
+
+import pytest
+
+from repro.errors import MapModelError
+from repro.geometry import Point
+from repro.rfid.readers import Reader, ReaderModel, place_default_readers
+
+
+def make_reader(**overrides):
+    defaults = dict(name="r", floor=0, position=Point(2.5, 2.5),
+                    major_radius=1.0, max_radius=3.0, major_probability=0.9)
+    defaults.update(overrides)
+    return Reader(**defaults)
+
+
+class TestReader:
+    def test_bad_radii_rejected(self):
+        with pytest.raises(MapModelError):
+            make_reader(major_radius=0.0)
+        with pytest.raises(MapModelError):
+            make_reader(major_radius=5.0, max_radius=3.0)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(MapModelError):
+            make_reader(major_probability=0.0)
+        with pytest.raises(MapModelError):
+            make_reader(major_probability=1.5)
+
+    def test_three_state_curve(self):
+        reader = make_reader()
+        assert reader.base_probability(0.5) == 0.9       # major region
+        assert reader.base_probability(1.0) == 0.9       # boundary inclusive
+        assert reader.base_probability(2.0) == pytest.approx(0.45)
+        assert reader.base_probability(3.0) == 0.0
+        assert reader.base_probability(10.0) == 0.0
+
+    def test_curve_is_monotonically_non_increasing(self):
+        reader = make_reader()
+        probabilities = [reader.base_probability(d / 10) for d in range(0, 40)]
+        assert all(a >= b for a, b in zip(probabilities, probabilities[1:]))
+
+
+class TestReaderModel:
+    def test_needs_readers(self, two_rooms):
+        with pytest.raises(MapModelError):
+            ReaderModel(two_rooms, [])
+
+    def test_duplicate_names_rejected(self, two_rooms):
+        readers = [make_reader(name="x"), make_reader(name="x")]
+        with pytest.raises(MapModelError):
+            ReaderModel(two_rooms, readers)
+
+    def test_bad_attenuation_rejected(self, two_rooms):
+        with pytest.raises(MapModelError):
+            ReaderModel(two_rooms, [make_reader()], wall_attenuation=1.5)
+
+    def test_no_cross_floor_detection(self, two_floors):
+        reader = make_reader(floor=0, position=Point(3, 3))
+        model = ReaderModel(two_floors, [reader])
+        assert model.detection_probability(reader, 1, Point(3, 3)) == 0.0
+
+    def test_same_room_no_attenuation(self, two_rooms):
+        reader = make_reader(position=Point(2.5, 2.5))
+        model = ReaderModel(two_rooms, [reader], wall_attenuation=0.5)
+        assert model.detection_probability(reader, 0, Point(2.5, 3.0)) == 0.9
+
+    def test_wall_attenuation_applies(self, two_rooms):
+        # Reader in room A, tag just across the wall in room B: two stored
+        # wall segments are crossed (one per room footprint).
+        reader = make_reader(position=Point(4.5, 2.5), max_radius=4.0)
+        model = ReaderModel(two_rooms, [reader], wall_attenuation=0.5)
+        in_a = model.detection_probability(reader, 0, Point(4.0, 2.5))
+        in_b = model.detection_probability(reader, 0, Point(5.5, 2.5))
+        assert in_a == 0.9
+        assert 0.0 < in_b < in_a
+        assert in_b == pytest.approx(
+            reader.base_probability(1.0) * 0.5 ** 2)
+
+    def test_out_of_range_skips_wall_computation(self, two_rooms):
+        reader = make_reader()
+        model = ReaderModel(two_rooms, [reader])
+        assert model.detection_probability(reader, 0, Point(9.9, 4.9)) == 0.0
+
+    def test_detection_probabilities_vector(self, two_rooms):
+        readers = [make_reader(name="a", position=Point(1, 1)),
+                   make_reader(name="b", position=Point(9, 4))]
+        model = ReaderModel(two_rooms, readers)
+        values = model.detection_probabilities(0, Point(1, 1))
+        assert len(values) == 2
+        assert values[0] == 0.9
+        assert values[1] == 0.0
+
+    def test_reader_lookup(self, two_rooms):
+        model = ReaderModel(two_rooms, [make_reader(name="a")])
+        assert model.reader("a").name == "a"
+        with pytest.raises(MapModelError):
+            model.reader("zzz")
+
+
+class TestDefaultPlacement:
+    def test_every_location_gets_a_reader(self, one_floor):
+        model = place_default_readers(one_floor)
+        covered = set()
+        for reader in model.readers:
+            location = one_floor.location_at(reader.floor, reader.position)
+            assert location is not None
+            covered.add(location)
+        assert covered == set(one_floor.location_names)
+
+    def test_long_locations_get_multiple_readers(self, one_floor):
+        model = place_default_readers(one_floor, reader_spacing=5.0)
+        corridor_readers = [r for r in model.readers
+                            if "corridor" in r.name]
+        assert len(corridor_readers) >= 3  # the corridor is 21 m long
+
+    def test_readers_on_each_floor(self, two_floors):
+        model = place_default_readers(two_floors)
+        assert {reader.floor for reader in model.readers} == {0, 1}

@@ -1,0 +1,116 @@
+"""Tests for the reading generator (Section 6.4, second module)."""
+
+import numpy as np
+import pytest
+
+from repro.mapmodel.grid import Grid
+from repro.rfid.calibration import exact_matrix
+from repro.rfid.readers import place_default_readers
+from repro.simulation.readings import ReadingGenerator
+from repro.simulation.trajectories import TrajectoryGenerator
+
+
+@pytest.fixture
+def setup(one_floor):
+    grid = Grid(one_floor, 0.5)
+    readers = place_default_readers(one_floor)
+    matrix = exact_matrix(readers, grid)
+    return one_floor, grid, readers, matrix
+
+
+class TestReadingGeneration:
+    def test_one_reading_per_timestep(self, setup, rng):
+        building, grid, readers, matrix = setup
+        trajectory = TrajectoryGenerator(building, rng=rng).generate(120)
+        readings = ReadingGenerator(matrix, rng).generate(trajectory)
+        assert readings.duration == trajectory.duration
+        assert [r.time for r in readings] == list(range(120))
+
+    def test_only_known_readers_appear(self, setup, rng):
+        building, grid, readers, matrix = setup
+        trajectory = TrajectoryGenerator(building, rng=rng).generate(60)
+        readings = ReadingGenerator(matrix, rng).generate(trajectory)
+        names = set(readers.reader_names)
+        for reading in readings:
+            assert reading.readers <= names
+
+    def test_detections_concentrate_near_the_object(self, setup):
+        building, grid, readers, matrix = setup
+        rng = np.random.default_rng(31)
+        trajectory = TrajectoryGenerator(building, rng=rng).generate(400)
+        readings = ReadingGenerator(matrix, rng).generate(trajectory)
+        # Most readings should contain at least one reader of the object's
+        # current (or an adjacent) location.
+        neighbourly = 0
+        nonempty = 0
+        for tau, reading in enumerate(readings):
+            if not reading.readers:
+                continue
+            nonempty += 1
+            here = trajectory.locations[tau]
+            nearby = {here, *building.neighbors(here)}
+            if any(any(loc in reader for loc in nearby)
+                   for reader in reading.readers):
+                neighbourly += 1
+        assert nonempty > 0
+        assert neighbourly / nonempty > 0.95
+
+    def test_deterministic_given_rng(self, setup):
+        building, grid, readers, matrix = setup
+        trajectory = TrajectoryGenerator(
+            building, rng=np.random.default_rng(8)).generate(60)
+        a = ReadingGenerator(matrix, np.random.default_rng(4)).generate(trajectory)
+        b = ReadingGenerator(matrix, np.random.default_rng(4)).generate(trajectory)
+        assert [r.readers for r in a] == [r.readers for r in b]
+
+    def test_zero_coverage_matrix_gives_empty_readings(self, setup, rng):
+        building, grid, readers, matrix = setup
+        from repro.rfid.calibration import DetectionMatrix
+        silent = DetectionMatrix(np.zeros_like(matrix.values), grid,
+                                 matrix.reader_names)
+        trajectory = TrajectoryGenerator(building, rng=rng).generate(30)
+        readings = ReadingGenerator(silent, rng).generate(trajectory)
+        assert all(reading.readers == frozenset() for reading in readings)
+
+    def test_ghost_rate_validation(self, setup):
+        _, _, _, matrix = setup
+        from repro.errors import MapModelError
+        with pytest.raises(MapModelError):
+            ReadingGenerator(matrix, ghost_read_rate=1.0)
+        with pytest.raises(MapModelError):
+            ReadingGenerator(matrix, ghost_read_rate=-0.1)
+
+    def test_ghost_reads_add_false_positives(self, setup):
+        building, grid, readers, matrix = setup
+        truth = TrajectoryGenerator(
+            building, rng=np.random.default_rng(3)).generate(150)
+        clean = ReadingGenerator(
+            matrix, np.random.default_rng(9)).generate(truth)
+        noisy = ReadingGenerator(
+            matrix, np.random.default_rng(9),
+            ghost_read_rate=0.05).generate(truth)
+        clean_total = sum(len(r.readers) for r in clean)
+        noisy_total = sum(len(r.readers) for r in noisy)
+        assert noisy_total > clean_total
+        # Ghosts include readers far from the object (zero true probability).
+        far_fires = 0
+        for tau, reading in enumerate(noisy):
+            cell = grid.cell_at(truth.floors[tau], truth.points[tau])
+            if cell is None:
+                continue
+            column = matrix.cell_column(cell.index)
+            for name in reading.readers:
+                index = matrix.reader_names.index(name)
+                if column[index] == 0.0:
+                    far_fires += 1
+        assert far_fires > 0
+
+    def test_false_negatives_occur(self, setup):
+        # With per-second detection probabilities < 1, some timesteps lose
+        # readers that would be in range — the ambiguity the paper models.
+        building, grid, readers, matrix = setup
+        rng = np.random.default_rng(77)
+        trajectory = TrajectoryGenerator(building, rng=rng).generate(300)
+        readings = ReadingGenerator(matrix, rng).generate(trajectory)
+        sizes = {len(reading.readers) for reading in readings}
+        assert len(sizes) > 1

@@ -1,0 +1,62 @@
+"""Tests for the full-evaluation suite runner and its report."""
+
+import pytest
+
+from repro.experiments.suite import (
+    SuiteResult,
+    render_report,
+    run_full_suite,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def suite_result(tiny_dataset):
+    return run_full_suite([tiny_dataset], scale="test",
+                          stay_queries=5, trajectory_queries=4)
+
+
+class TestRunFullSuite:
+    def test_covers_every_stage(self, suite_result):
+        assert suite_result.cleaning
+        assert suite_result.query_times
+        assert suite_result.stay_accuracy
+        assert suite_result.trajectory_accuracy
+        assert suite_result.accuracy_by_length
+
+    def test_progress_callback(self, tiny_dataset):
+        messages = []
+        run_full_suite([tiny_dataset], stay_queries=2, trajectory_queries=2,
+                       progress=messages.append)
+        assert any("Fig. 8a" in m for m in messages)
+        assert any("Fig. 9c" in m for m in messages)
+
+    def test_empty_dataset_list(self):
+        result = run_full_suite([])
+        assert result.cleaning == []
+        assert result.accuracy_by_length == []
+
+
+class TestRenderReport:
+    def test_report_contains_all_sections(self, suite_result):
+        report = render_report(suite_result)
+        for heading in ("Cleaning cost", "Query time", "Stay-query accuracy",
+                        "Trajectory-query accuracy", "query length",
+                        "Shape checklist"):
+            assert heading in report
+
+    def test_checklist_passes_on_tiny_dataset(self, suite_result):
+        report = render_report(suite_result)
+        checklist = report[report.index("Shape checklist"):]
+        assert "FAIL" not in checklist
+        assert checklist.count("PASS") >= 3
+
+    def test_empty_result_renders(self):
+        report = render_report(SuiteResult(scale="empty"))
+        assert "Shape checklist" in report
+        assert "n/a" in report
+
+    def test_write_report(self, suite_result, tmp_path):
+        path = tmp_path / "report.md"
+        write_report(suite_result, path)
+        assert path.read_text().startswith("# rfid-ctg evaluation report")

@@ -1,0 +1,95 @@
+"""Tests for the SVG renderers (structure, not pixels)."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.rfid.readers import place_default_readers
+from repro.simulation.trajectories import TrajectoryGenerator
+from repro.svg import floor_to_svg, marginal_to_svg, trajectory_to_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestFloorToSvg:
+    def test_is_well_formed_xml(self, corridor4):
+        root = parse(floor_to_svg(corridor4, 0))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_rect_per_location(self, corridor4):
+        root = parse(floor_to_svg(corridor4, 0))
+        rects = root.findall(f"{SVG_NS}rect")
+        # background + one per location
+        assert len(rects) == 1 + len(corridor4.locations_on_floor(0))
+
+    def test_labels_present(self, corridor4):
+        svg = floor_to_svg(corridor4, 0)
+        for location in corridor4.location_names:
+            assert location in svg
+
+    def test_readers_drawn_with_range_rings(self, corridor4):
+        readers = place_default_readers(corridor4)
+        root = parse(floor_to_svg(corridor4, 0, readers=readers))
+        circles = root.findall(f"{SVG_NS}circle")
+        n_doors = len(corridor4.doors)
+        n_readers = len(readers)
+        # door dots + reader dots + reader range rings
+        assert len(circles) == n_doors + 2 * n_readers
+
+    def test_multi_floor_filters(self, two_floors):
+        svg = floor_to_svg(two_floors, 1)
+        assert "F1_R1" in svg
+        assert "F0_R1" not in svg
+
+
+class TestMarginalToSvg:
+    def test_heatmap_opacity_scales_with_probability(self, corridor4):
+        svg = marginal_to_svg(corridor4, 0,
+                              {"room1": 0.9, "room2": 0.1})
+        root = parse(svg)
+        opacities = sorted(
+            float(r.get("fill-opacity")) for r in root.findall(f"{SVG_NS}rect")
+            if r.get("fill") == "#2e6f9e")
+        assert len(opacities) == 2
+        assert opacities[0] < opacities[1]
+
+    def test_off_floor_mass_annotation(self, two_floors):
+        svg = marginal_to_svg(two_floors, 0, {"F1_R1": 1.0})
+        assert "off-floor mass: 1.000" in svg
+
+    def test_empty_marginal_renders(self, corridor4):
+        root = parse(marginal_to_svg(corridor4, 0, {}))
+        assert root.tag == f"{SVG_NS}svg"
+
+
+class TestTrajectoryToSvg:
+    def test_path_drawn_for_on_floor_samples(self, corridor4, rng):
+        truth = TrajectoryGenerator(corridor4, rng=rng).generate(120)
+        svg = trajectory_to_svg(corridor4, 0, truth.floors, truth.points)
+        root = parse(svg)
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) >= 1
+        points = polylines[0].get("points").split()
+        assert len(points) >= 2
+
+    def test_floor_changes_break_the_polyline(self, two_floors, rng):
+        truth = TrajectoryGenerator(two_floors, rng=rng).generate(2000)
+        floors_used = set(truth.floors)
+        if len(floors_used) < 2:
+            pytest.skip("trajectory stayed on one floor")
+        svg0 = trajectory_to_svg(two_floors, 0, truth.floors, truth.points)
+        root = parse(svg0)
+        # Markers for start/end exist and all polylines parse.
+        assert root.findall(f"{SVG_NS}polyline")
+
+    def test_no_on_floor_samples(self, two_floors):
+        from repro.geometry import Point
+        svg = trajectory_to_svg(two_floors, 1, [0, 0], [Point(1, 1),
+                                                        Point(2, 2)])
+        root = parse(svg)
+        assert not root.findall(f"{SVG_NS}polyline")

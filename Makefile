@@ -2,13 +2,33 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper report examples loc clean
+.PHONY: install test lint typecheck check bench bench-paper report examples loc clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static gates.  tools/check_invariants.py is stdlib-only and always runs;
+# ruff/mypy run when installed (pip install -e .[lint]) and are skipped with
+# a notice otherwise, so the targets work in minimal containers too.
+lint:
+	$(PYTHON) tools/check_invariants.py src tools
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check .; \
+	else \
+		echo "ruff not installed -- skipping (pip install -e .[lint])"; \
+	fi
+
+typecheck:
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy -p repro.analysis; \
+	else \
+		echo "mypy not installed -- skipping (pip install -e .[lint])"; \
+	fi
+
+check: lint typecheck test
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -21,6 +21,7 @@ See ``examples/`` for end-to-end scenarios and ``DESIGN.md`` for the system
 inventory.
 """
 
+from repro.analysis import AnalysisReport, Diagnostic, Severity, analyze
 from repro.core.algorithm import CleaningOptions, CleaningStats, build_ct_graph, clean
 from repro.core.constraints import (
     ConstraintSet,
@@ -45,6 +46,7 @@ from repro.errors import (
     QueryError,
     ReadingSequenceError,
     ReproError,
+    ZeroMassError,
 )
 from repro.geometry import Point, Rect, Segment
 from repro.inference import (
@@ -115,7 +117,10 @@ __version__ = "1.0.0"
 __all__ = [
     # errors
     "ReproError", "MapModelError", "ConstraintError", "ReadingSequenceError",
-    "InconsistentReadingsError", "PatternSyntaxError", "QueryError",
+    "InconsistentReadingsError", "ZeroMassError", "PatternSyntaxError",
+    "QueryError",
+    # static analysis
+    "AnalysisReport", "Diagnostic", "Severity", "analyze",
     # geometry + map
     "Point", "Rect", "Segment",
     "Building", "Location", "Door", "Grid", "Cell", "WalkingDistances",

@@ -1,0 +1,170 @@
+"""Typed diagnostics for the static constraint/map analyzer.
+
+A :class:`Diagnostic` is one finding: a stable rule code (``C001``...),
+a :class:`Severity`, a human-readable message, the constraint/location
+subjects it is about, and an optional machine-readable ``data`` payload
+(used e.g. by the C006 size estimate).  An :class:`AnalysisReport` is an
+ordered, immutable collection of diagnostics with text and JSON
+renderings — the single return type of :func:`repro.analysis.analyze`.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = ["Severity", "Diagnostic", "AnalysisReport"]
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` — the inputs are contradictory or conditioning is provably
+    undefined; ``WARNING`` — something is dead or suspicious but cleaning
+    can proceed; ``INFO`` — advisory (redundancies, size estimates).
+    """
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_SEVERITY_RANK: Dict[Severity, int] = {
+    Severity.INFO: 0,
+    Severity.WARNING: 1,
+    Severity.ERROR: 2,
+}
+
+
+@dataclass(frozen=True, eq=False)
+class Diagnostic:
+    """One analyzer finding.
+
+    ``subjects`` names the locations/constraints the finding is about (for
+    grouping and stable sorting); ``data`` carries optional structured
+    detail that the JSON rendering exposes verbatim.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    subjects: Tuple[str, ...] = ()
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"{self.code} {self.severity}: {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "subjects": list(self.subjects),
+        }
+        if self.data:
+            payload["data"] = dict(self.data)
+        return payload
+
+
+class AnalysisReport:
+    """The ordered findings of one analyzer run."""
+
+    def __init__(self, diagnostics: Tuple[Diagnostic, ...]) -> None:
+        self._diagnostics = tuple(diagnostics)
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._diagnostics)
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def __repr__(self) -> str:
+        return (f"AnalysisReport(errors={len(self.errors)}, "
+                f"warnings={len(self.warnings)}, infos={len(self.infos)})")
+
+    @property
+    def diagnostics(self) -> Tuple[Diagnostic, ...]:
+        return self._diagnostics
+
+    # ------------------------------------------------------------------
+    # filtering
+    # ------------------------------------------------------------------
+    def with_severity(self, severity: Severity) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return self.with_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return self.with_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> Tuple[Diagnostic, ...]:
+        return self.with_severity(Severity.INFO)
+
+    def by_code(self, code: str) -> Tuple[Diagnostic, ...]:
+        """Every diagnostic carrying the given rule code."""
+        return tuple(d for d in self._diagnostics if d.code == code)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self._diagnostics)
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        """The worst severity present (``None`` for a clean report)."""
+        worst: Optional[Severity] = None
+        for diagnostic in self._diagnostics:
+            if worst is None or diagnostic.severity.rank > worst.rank:
+                worst = diagnostic.severity
+        return worst
+
+    def exit_code(self, strict: bool = False) -> int:
+        """The process exit code the CLI maps this report to.
+
+        0 when nothing is wrong; under ``strict``, 1 as soon as any ERROR
+        diagnostic is present.
+        """
+        return 1 if strict and self.has_errors else 0
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        """The human-readable rendering, one line per diagnostic."""
+        if not self._diagnostics:
+            return "analysis: no findings"
+        lines: List[str] = [str(d) for d in self._diagnostics]
+        lines.append(f"analysis: {len(self.errors)} error(s), "
+                     f"{len(self.warnings)} warning(s), "
+                     f"{len(self.infos)} info(s)")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": "analysis-report/1",
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "infos": len(self.infos),
+            },
+            "diagnostics": [d.to_dict() for d in self._diagnostics],
+        }
+
+    def render_json(self) -> str:
+        """The machine-readable rendering (stable key order)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)

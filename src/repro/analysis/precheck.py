@@ -1,0 +1,80 @@
+"""Rule C005 machinery: predicting zero valid mass before Algorithm 1 runs.
+
+Conditioning is undefined when *every* trajectory compatible with the
+l-sequence violates some constraint — the divide-by-zero of Definition 1.
+Algorithm 1 only discovers this mid-run (or at the very end, in the source
+normalisation).  The pre-check here answers the boolean question alone:
+it replays the forward phase over bare node states (no probabilities, no
+edges, no loss bookkeeping) and reports the first timestep whose frontier
+dies, or ``None`` when some valid trajectory exists.
+
+Exactness: the node state ``(location, stay, departures)`` of
+:mod:`repro.core.nodes` makes future validity Markov in the state, so a
+state surviving to the final level *is* the suffix of a valid trajectory
+and the boolean pass agrees with the naive enumerator on every instance
+(pinned by a hypothesis property test).  Cost: one set-of-states frontier
+per timestep — ``O(T * L^2)`` state expansions with DU-only constraint
+sets (states collapse to locations), and the same l-sequence-aware
+``TL`` pruning as the real forward phase keeps the state count tractable
+when TT constraints are present.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.core.constraints import ConstraintSet
+from repro.core.lsequence import LSequence
+from repro.core.nodes import DepartureFilter, NodeState, source_states, successor_state
+
+__all__ = ["first_dead_timestep", "predict_zero_mass"]
+
+
+def first_dead_timestep(lsequence: LSequence, constraints: ConstraintSet, *,
+                        strict_truncation: bool = False) -> Optional[int]:
+    """The first timestep at which no legal node state exists, if any.
+
+    ``None`` means some constraint-satisfying trajectory exists (the valid
+    prior mass is positive).  A return of ``t`` means every interpretation
+    of the readings dies by timestep ``t`` — Algorithm 1 would raise
+    :class:`~repro.errors.ZeroMassError` on the same input, after doing
+    strictly more work.
+    """
+    duration = lsequence.duration
+    last = duration - 1
+
+    frontier: Set[NodeState] = set()
+    for state in source_states(lsequence.support(0), constraints).values():
+        if strict_truncation and last == 0 and state[1] is not None:
+            continue
+        frontier.add(state)
+    if not frontier:
+        return 0
+
+    departure_filter = (DepartureFilter(lsequence, constraints)
+                        if constraints.tt_sources else None)
+    for tau in range(duration - 1):
+        support = lsequence.support(tau + 1)
+        filter_binding = strict_truncation and tau + 1 == last
+        next_frontier: Set[NodeState] = set()
+        for state in frontier:
+            for destination in support:
+                successor = successor_state(tau, state, destination,
+                                            constraints, departure_filter)
+                if successor is None:
+                    continue
+                if filter_binding and successor[1] is not None:
+                    continue
+                next_frontier.add(successor)
+        if not next_frontier:
+            return tau + 1
+        frontier = next_frontier
+    return None
+
+
+def predict_zero_mass(lsequence: LSequence, constraints: ConstraintSet, *,
+                      strict_truncation: bool = False) -> bool:
+    """Whether conditioning the l-sequence would find zero valid mass."""
+    return first_dead_timestep(
+        lsequence, constraints,
+        strict_truncation=strict_truncation) is not None

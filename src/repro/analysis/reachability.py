@@ -1,0 +1,127 @@
+"""The DU-induced step graph and its cached reachability closure.
+
+The DU constraints of a :class:`~repro.core.constraints.ConstraintSet`
+induce a directed *step graph* over a finite location universe: an edge
+``l1 -> l2`` exists iff ``unreachable(l1, l2)`` is **not** stated.  Several
+analyzer rules only depend on this graph:
+
+* C002 asks whether a TT constraint's destination is reachable from its
+  source at all (over any number of steps);
+* C004 asks whether a location has any legal in- or out-step.
+
+:class:`ReachabilityIndex` materialises successor lists once (``O(L^2)``)
+and computes multi-step reachability by BFS on demand, caching each
+source's closure — repeated queries (one per TT constraint) cost a set
+lookup.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.core.constraints import (
+    ConstraintSet,
+    Latency,
+    TravelingTime,
+    Unreachable,
+)
+
+__all__ = ["ReachabilityIndex", "location_universe"]
+
+
+def location_universe(constraints: ConstraintSet,
+                      map_model: Optional[object] = None,
+                      prior: Optional[object] = None,
+                      lsequence: Optional[object] = None) -> Tuple[str, ...]:
+    """The finite location universe an analysis run reasons over.
+
+    A map model is authoritative (its ``location_names`` are the paper's
+    set ``L``).  Without one, the universe is everything *mentioned*: by a
+    constraint, by the prior model (``location_names``), or by a reading
+    sequence's supports.  Sorted for deterministic diagnostics.
+    """
+    names = set()
+    if map_model is not None:
+        names.update(map_model.location_names)  # type: ignore[attr-defined]
+        return tuple(sorted(names))
+    for constraint in constraints:
+        if isinstance(constraint, Unreachable):
+            names.add(constraint.loc_a)
+            names.add(constraint.loc_b)
+        elif isinstance(constraint, TravelingTime):
+            names.add(constraint.loc_a)
+            names.add(constraint.loc_b)
+        elif isinstance(constraint, Latency):
+            names.add(constraint.location)
+    prior_names = getattr(prior, "location_names", None)
+    if prior_names is not None:
+        names.update(prior_names)
+    if lsequence is not None:
+        duration: int = lsequence.duration  # type: ignore[attr-defined]
+        for tau in range(duration):
+            names.update(lsequence.support(tau))  # type: ignore[attr-defined]
+    return tuple(sorted(names))
+
+
+class ReachabilityIndex:
+    """Successor lists and cached BFS closures of the DU-induced step graph."""
+
+    def __init__(self, universe: Iterable[str],
+                 constraints: ConstraintSet) -> None:
+        self._universe: Tuple[str, ...] = tuple(universe)
+        self._constraints = constraints
+        self._successors: Dict[str, Tuple[str, ...]] = {}
+        self._predecessors: Dict[str, Tuple[str, ...]] = {}
+        predecessors: Dict[str, list] = {name: [] for name in self._universe}
+        for source in self._universe:
+            allowed = tuple(destination for destination in self._universe
+                            if not constraints.forbids_step(source,
+                                                            destination))
+            self._successors[source] = allowed
+            for destination in allowed:
+                predecessors[destination].append(source)
+        self._predecessors = {name: tuple(sources)
+                              for name, sources in predecessors.items()}
+        self._closure: Dict[str, FrozenSet[str]] = {}
+
+    @property
+    def universe(self) -> Tuple[str, ...]:
+        return self._universe
+
+    def can_step(self, loc_a: str, loc_b: str) -> bool:
+        """Whether one direct step ``loc_a -> loc_b`` is DU-legal."""
+        return not self._constraints.forbids_step(loc_a, loc_b)
+
+    def successors(self, location: str) -> Tuple[str, ...]:
+        """Every DU-legal one-step destination (may include ``location``)."""
+        return self._successors.get(location, ())
+
+    def predecessors(self, location: str) -> Tuple[str, ...]:
+        """Every DU-legal one-step origin (may include ``location``)."""
+        return self._predecessors.get(location, ())
+
+    def reachable_from(self, location: str) -> FrozenSet[str]:
+        """Locations reachable from ``location`` in one or more steps.
+
+        ``location`` itself is included only if some cycle (possibly the
+        self-loop of a legal stay) returns to it.  Cached per source.
+        """
+        cached = self._closure.get(location)
+        if cached is not None:
+            return cached
+        seen = set(self.successors(location))
+        queue = deque(seen)
+        while queue:
+            here = queue.popleft()
+            for there in self.successors(here):
+                if there not in seen:
+                    seen.add(there)
+                    queue.append(there)
+        closure = frozenset(seen)
+        self._closure[location] = closure
+        return closure
+
+    def can_ever_reach(self, loc_a: str, loc_b: str) -> bool:
+        """Whether ``loc_b`` is reachable from ``loc_a`` over >= 1 steps."""
+        return loc_b in self.reachable_from(loc_a)

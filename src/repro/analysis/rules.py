@@ -1,0 +1,275 @@
+"""The analyzer's rules: C001-C006.
+
+Every rule is a generator taking an :class:`AnalysisContext` and yielding
+:class:`~repro.analysis.diagnostics.Diagnostic` records.  Rules are pure
+inspections — none enumerates trajectories or touches probabilities; the
+most expensive machinery is the cached BFS closure of
+:class:`~repro.analysis.reachability.ReachabilityIndex` and the boolean
+forward pass of :mod:`repro.analysis.precheck` (C005, readings-specific).
+
+| code | severity | finding |
+|------|----------|---------|
+| C001 | ERROR    | ``unreachable(l, l)`` + ``latency(l, d)``: contradictory stay |
+| C002 | WARNING  | TT constraint whose destination is unreachable from its source |
+| C003 | INFO     | duplicate statements / bounds dominated by stricter ones |
+| C004 | WARNING  | location with no DU-legal in- or out-steps |
+| C005 | ERROR    | a concrete reading sequence has zero valid mass |
+| C006 | INFO     | ct-graph node-count upper bound per timestep |
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.precheck import first_dead_timestep
+from repro.analysis.reachability import ReachabilityIndex
+from repro.core.constraints import ConstraintSet, Latency, TravelingTime
+from repro.core.lsequence import LSequence
+
+__all__ = [
+    "AnalysisContext",
+    "check_contradictory_stays",
+    "check_dead_traveling_times",
+    "check_redundant_constraints",
+    "check_dead_locations",
+    "check_zero_mass",
+    "check_blowup_estimate",
+    "ctgraph_size_bounds",
+]
+
+
+@dataclass(frozen=True)
+class AnalysisContext:
+    """Everything one analyzer run knows about its inputs.
+
+    ``map_model`` and ``prior`` are duck-typed (anything exposing
+    ``location_names``); ``lsequence`` is present only when the caller
+    supplied a concrete reading sequence to pre-check.
+    """
+
+    constraints: ConstraintSet
+    universe: Tuple[str, ...]
+    reachability: ReachabilityIndex
+    map_model: Optional[object] = None
+    prior: Optional[object] = None
+    lsequence: Optional[LSequence] = None
+    strict_truncation: bool = False
+
+
+# ----------------------------------------------------------------------
+# C001 — contradiction: unreachable(l, l) + latency(l, d >= 2)
+# ----------------------------------------------------------------------
+def check_contradictory_stays(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """``unreachable(l, l)`` forbids consecutive timesteps at ``l``, so no
+    stay can ever span the >= 2 timesteps a latency bound demands."""
+    for location, bound in sorted(ctx.constraints.latency_bounds.items()):
+        if ctx.constraints.forbids_step(location, location):
+            yield Diagnostic(
+                "C001", Severity.ERROR,
+                f"unreachable({location}, {location}) contradicts "
+                f"latency({location}, {bound}): the DU constraint caps "
+                f"every stay at {location} at a single timestep, so the "
+                f"{bound}-step latency bound is unsatisfiable: no "
+                f"trajectory may visit {location} (under the lenient "
+                f"truncated-stay policy, only a truncated arrival at the "
+                f"final timestep survives)",
+                subjects=(location,),
+                data={"latency": bound})
+
+
+# ----------------------------------------------------------------------
+# C002 — dead TT: destination unreachable from source
+# ----------------------------------------------------------------------
+def check_dead_traveling_times(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """A ``travelingTime(l1, l2, v)`` only ever binds on a trajectory that
+    visits ``l1`` and later ``l2`` — impossible when ``l2`` is unreachable
+    from ``l1`` in the DU-induced step graph."""
+    for (source, destination), steps in sorted(
+            ctx.constraints.traveling_time_bounds.items()):
+        if not ctx.reachability.can_ever_reach(source, destination):
+            yield Diagnostic(
+                "C002", Severity.WARNING,
+                f"travelingTime({source}, {destination}, {steps}) can "
+                f"never bind: {destination} is unreachable from {source} "
+                f"in the DU-induced step graph (over "
+                f"{len(ctx.reachability.universe)} locations), so the "
+                f"constraint is dead",
+                subjects=(source, destination),
+                data={"steps": steps})
+
+
+# ----------------------------------------------------------------------
+# C003 — redundant constraints
+# ----------------------------------------------------------------------
+def check_redundant_constraints(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """Duplicate statements and bounds dominated by stricter stated bounds.
+
+    ``ConstraintSet`` already keeps the strictest bound per subject, so
+    neither kind changes the semantics — the diagnostics exist so stated
+    constraint sets stay canonical.
+    """
+    counts = Counter(ctx.constraints)
+    for constraint, copies in sorted(counts.items(),
+                                     key=lambda pair: str(pair[0])):
+        if copies > 1:
+            yield Diagnostic(
+                "C003", Severity.INFO,
+                f"{constraint} is stated {copies} times; the duplicates "
+                f"change nothing",
+                subjects=(str(constraint),))
+    tt_bounds = ctx.constraints.traveling_time_bounds
+    lt_bounds = ctx.constraints.latency_bounds
+    for constraint in sorted(counts, key=str):
+        if isinstance(constraint, TravelingTime):
+            binding = tt_bounds[(constraint.loc_a, constraint.loc_b)]
+            if constraint.steps < binding:
+                yield Diagnostic(
+                    "C003", Severity.INFO,
+                    f"{constraint} is dominated by the stricter stated "
+                    f"bound travelingTime({constraint.loc_a}, "
+                    f"{constraint.loc_b}, {binding})",
+                    subjects=(str(constraint),))
+        elif isinstance(constraint, Latency):
+            binding = lt_bounds[constraint.location]
+            if constraint.duration < binding:
+                yield Diagnostic(
+                    "C003", Severity.INFO,
+                    f"{constraint} is dominated by the stricter stated "
+                    f"bound latency({constraint.location}, {binding})",
+                    subjects=(str(constraint),))
+
+
+# ----------------------------------------------------------------------
+# C004 — dead locations
+# ----------------------------------------------------------------------
+def _mass_carrying_locations(ctx: AnalysisContext) -> Optional[Set[str]]:
+    """The locations some prior/reading can put mass on (``None`` = unknown)."""
+    if ctx.lsequence is not None:
+        carrying: Set[str] = set()
+        for tau in range(ctx.lsequence.duration):
+            carrying.update(ctx.lsequence.support(tau))
+        return carrying
+    prior_names = getattr(ctx.prior, "location_names", None)
+    if prior_names is not None:
+        return set(prior_names)
+    return None
+
+
+def check_dead_locations(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """A location with no DU-legal out-steps can only end a trajectory; one
+    with no DU-legal in-steps can only start it.  Either way, prior mass
+    placed on it at any interior timestep is guaranteed loss."""
+    carrying = _mass_carrying_locations(ctx)
+    for location in ctx.universe:
+        has_out = bool(ctx.reachability.successors(location))
+        has_in = bool(ctx.reachability.predecessors(location))
+        if has_out and has_in:
+            continue
+        if not has_out and not has_in:
+            detail = ("no DU-legal incoming or outgoing steps (not even a "
+                      "stay): it cannot appear in any trajectory of 2+ "
+                      "timesteps")
+        elif not has_out:
+            detail = ("no DU-legal outgoing steps (not even a stay): it "
+                      "can only appear at the final timestep")
+        else:
+            detail = ("no DU-legal incoming steps (not even a stay): it "
+                      "can only appear at timestep 0")
+        carries_mass = carrying is None or location in carrying
+        yield Diagnostic(
+            "C004",
+            Severity.WARNING if carries_mass else Severity.INFO,
+            f"dead location {location}: {detail}"
+            + ("" if carries_mass
+               else " (no supplied reading/prior puts mass on it)"),
+            subjects=(location,))
+
+
+# ----------------------------------------------------------------------
+# C005 — zero-mass pre-check for a concrete reading sequence
+# ----------------------------------------------------------------------
+def check_zero_mass(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """The boolean forward pass of :mod:`repro.analysis.precheck`."""
+    if ctx.lsequence is None:
+        return
+    failed_at = first_dead_timestep(
+        ctx.lsequence, ctx.constraints,
+        strict_truncation=ctx.strict_truncation)
+    if failed_at is None:
+        return
+    if failed_at == 0:
+        where = "no source location satisfies the constraints at timestep 0"
+    else:
+        where = (f"every interpretation of the readings dies entering "
+                 f"timestep {failed_at}")
+    yield Diagnostic(
+        "C005", Severity.ERROR,
+        f"zero valid mass: {where}; conditioning is undefined and "
+        f"Algorithm 1 would raise ZeroMassError "
+        f"(repro.core.diagnostics.diagnose gives a per-move account)",
+        data={"failed_at": failed_at})
+
+
+# ----------------------------------------------------------------------
+# C006 — ct-graph blowup estimate
+# ----------------------------------------------------------------------
+def ctgraph_size_bounds(lsequence: LSequence,
+                        constraints: ConstraintSet) -> List[int]:
+    """A per-timestep upper bound on the number of ct-graph node states.
+
+    A node state is ``(location, stay, departures)``.  Per candidate
+    location ``l`` at timestep ``tau`` the bound multiplies:
+
+    * the stay values — ``latency(l, d)`` admits ``{1..d-1}`` plus the
+      non-binding ``None``, i.e. ``d`` values (1 without a bound);
+    * per TT-source ``l' != l``: absence, or one entry ``(t, l')`` for
+      each ``t`` in the ``maxTravelingTime(l')`` window where ``l'`` has
+      prior support.
+
+    The bound never underestimates (it ignores DU/TT pruning and the
+    l-sequence-aware departure filter, which only shrink the state space);
+    computing it costs ``O(T * L * |TT sources| * log T)``.
+    """
+    tt_sources = sorted(constraints.tt_sources)
+    support_times: Dict[str, List[int]] = {source: [] for source in tt_sources}
+    for tau in range(lsequence.duration):
+        for location in lsequence.support(tau):
+            if location in support_times:
+                support_times[location].append(tau)
+
+    bounds: List[int] = []
+    for tau in range(lsequence.duration):
+        total = 0
+        for location in lsequence.support(tau):
+            latency = constraints.latency_of(location)
+            combinations = latency if latency is not None and latency > 1 else 1
+            for source in tt_sources:
+                if source == location:
+                    continue
+                window_start = tau - constraints.max_traveling_time(source) + 1
+                times = support_times[source]
+                low = bisect_left(times, max(0, window_start))
+                high = bisect_left(times, tau)
+                combinations *= 1 + (high - low)
+            total += combinations
+        bounds.append(total)
+    return bounds
+
+
+def check_blowup_estimate(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """Report the C006 size bound so callers can budget memory up front."""
+    if ctx.lsequence is None:
+        return
+    bounds = ctgraph_size_bounds(ctx.lsequence, ctx.constraints)
+    worst = max(bounds)
+    worst_at = bounds.index(worst)
+    yield Diagnostic(
+        "C006", Severity.INFO,
+        f"ct-graph size upper bound: <= {sum(bounds)} node states over "
+        f"{len(bounds)} timesteps (worst timestep {worst_at}: <= {worst})",
+        data={"total": sum(bounds), "worst": worst,
+              "worst_timestep": worst_at, "per_timestep": bounds})

@@ -115,6 +115,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="statements like 'STAY 10', 'MATCH ? F0_R1 ?', "
                          "'TOP 3', 'ENTROPY'")
 
+    analyze_cmd = sub.add_parser(
+        "analyze", help="static pre-flight analysis of constraints, map "
+                        "and readings (no cleaning run)")
+    add_common(analyze_cmd)
+    analyze_cmd.add_argument("--constraints", default="DU,LT,TT",
+                             help="comma-separated subset of DU,LT,TT "
+                                  "(dataset mode)")
+    analyze_cmd.add_argument("--constraints-file",
+                             help="analyze a constraints JSON file instead "
+                                  "of a dataset's inferred constraints")
+    analyze_cmd.add_argument("--building-file",
+                             help="optional building JSON accompanying "
+                                  "--constraints-file (fixes the location "
+                                  "universe)")
+    analyze_cmd.add_argument("--index", type=int,
+                             help="also pre-check the readings of this "
+                                  "dataset trajectory (rules C005/C006)")
+    analyze_cmd.add_argument("--strict", action="store_true",
+                             help="exit with code 1 when any ERROR "
+                                  "diagnostic is present")
+    analyze_cmd.add_argument("--format", choices=["text", "json"],
+                             default="text", help="report rendering")
+
     map_cmd = sub.add_parser(
         "map", help="render a floor plan (optionally with a position estimate)")
     add_common(map_cmd)
@@ -320,6 +343,38 @@ def _command_ql(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze
+
+    if args.constraints_file:
+        from repro.io.jsonio import load_building, load_constraints
+
+        constraints = load_constraints(args.constraints_file)
+        building = (load_building(args.building_file)
+                    if args.building_file else None)
+        report = analyze(constraints, map_model=building)
+    else:
+        dataset = _load_dataset(args)
+        kinds = _parse_kinds(args.constraints)
+        constraints = infer_constraints(dataset.building, MotilityProfile(),
+                                        kinds=kinds,
+                                        distances=dataset.distances)
+        readings = None
+        if args.index is not None:
+            trajectories = dataset.all_trajectories()
+            if not 0 <= args.index < len(trajectories):
+                raise SystemExit(
+                    f"--index must be in [0, {len(trajectories)})")
+            readings = trajectories[args.index].readings
+        report = analyze(constraints, map_model=dataset.building,
+                         prior=dataset.prior, readings=readings)
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code(strict=args.strict)
+
+
 def _command_map(args: argparse.Namespace) -> int:
     from repro.viz import render_floor, render_marginal
 
@@ -351,6 +406,7 @@ _COMMANDS = {
     "export": _command_export,
     "report": _command_report,
     "ql": _command_ql,
+    "analyze": _command_analyze,
     "map": _command_map,
 }
 

@@ -60,12 +60,15 @@ from repro.core.nodes import (
     _unchecked_successor,
     source_states,
 )
-from repro.errors import InconsistentReadingsError, ReadingSequenceError
+from repro.errors import ReadingSequenceError, ZeroMassError
 
 __all__ = ["CleaningOptions", "CleaningStats", "build_ct_graph", "clean"]
 
 #: Policies for stays cut short by the end of the monitoring window.
 TRUNCATED_STAY_POLICIES = ("lenient", "strict")
+
+#: Pre-flight static-analysis modes (see ``repro.analysis``).
+PRECHECK_MODES = ("off", "warn", "error")
 
 
 @dataclass(frozen=True)
@@ -76,9 +79,18 @@ class CleaningOptions:
     that reaches the final timestep before meeting its bound: ``"lenient"``
     (default, the printed algorithm's behaviour) keeps it, ``"strict"``
     (Definition 2 read literally) discards it.
+
+    ``precheck`` — whether to run the static constraint/map analyzer
+    (``repro.analysis``) before the forward pass: ``"off"`` (default)
+    skips it, ``"warn"`` emits a :class:`UserWarning` per ERROR diagnostic,
+    ``"error"`` additionally refuses inputs whose pre-check *proves* the
+    valid prior mass is zero (rule C005) by raising
+    :class:`~repro.errors.ZeroMassError` up front — same outcome as
+    running Algorithm 1, minus the cost of the doomed run.
     """
 
     truncated_stay_policy: str = "lenient"
+    precheck: str = "off"
 
     def __post_init__(self) -> None:
         if self.truncated_stay_policy not in TRUNCATED_STAY_POLICIES:
@@ -86,6 +98,10 @@ class CleaningOptions:
                 f"unknown truncated_stay_policy "
                 f"{self.truncated_stay_policy!r}; "
                 f"expected one of {TRUNCATED_STAY_POLICIES}")
+        if self.precheck not in PRECHECK_MODES:
+            raise ReadingSequenceError(
+                f"unknown precheck mode {self.precheck!r}; "
+                f"expected one of {PRECHECK_MODES}")
 
     @property
     def strict_truncation(self) -> bool:
@@ -118,6 +134,9 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
     with the l-sequence satisfies the constraints (conditioning undefined).
     The returned graph carries its :class:`CleaningStats` as ``graph.stats``.
     """
+    if options.precheck != "off":
+        _run_precheck(lsequence, constraints, options)
+
     stats = CleaningStats()
     duration = lsequence.duration
     last = duration - 1
@@ -135,7 +154,7 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
         prior_source_probability[node] = lsequence.probability(0, location)
         stats.nodes_created += 1
     if not levels[0]:
-        raise InconsistentReadingsError(
+        raise ZeroMassError(
             "no source location satisfies the constraints at timestep 0")
 
     # ------------------------------------------------------------------
@@ -178,7 +197,7 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
                 child.parents.append(node)
                 stats.edges_created += 1
         if not next_level:
-            raise InconsistentReadingsError(
+            raise ZeroMassError(
                 f"no trajectory can legally continue past timestep {tau}")
 
     # ------------------------------------------------------------------
@@ -215,7 +234,7 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
             node = level.pop(state)
             stats.nodes_removed += 1
         if not level:
-            raise InconsistentReadingsError(
+            raise ZeroMassError(
                 "no trajectory compatible with the readings satisfies "
                 "the constraints")
         # Rescale so the level's largest survival is 1 — conditioning only
@@ -242,7 +261,7 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
             prior_source_probability[node] * survival.get(node, 1.0))
     total = math.fsum(source_probabilities.values())
     if total <= 0.0:
-        raise InconsistentReadingsError(
+        raise ZeroMassError(
             "the valid trajectories have zero total prior probability")
     for node in source_probabilities:
         source_probabilities[node] /= total
@@ -251,6 +270,33 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
                     source_probabilities)
     graph.stats = stats
     return graph
+
+
+def _run_precheck(lsequence: LSequence, constraints: ConstraintSet,
+                  options: CleaningOptions) -> None:
+    """The opt-in pre-flight hook: static analysis before the forward pass.
+
+    Imported lazily so the core algorithm has no hard dependency on the
+    analyzer.  ``"warn"`` surfaces every ERROR diagnostic as a
+    :class:`UserWarning`; ``"error"`` additionally raises
+    :class:`~repro.errors.ZeroMassError` when rule C005 *proves* the valid
+    prior mass is zero (other ERROR diagnostics — e.g. a C001
+    contradiction on a location the readings never touch — do not imply
+    zero mass, so they only ever warn; the pre-check never rejects an
+    input Algorithm 1 could clean).
+    """
+    import warnings
+
+    from repro.analysis import ZERO_MASS_RULE, analyze
+
+    report = analyze(constraints, readings=lsequence,
+                     strict_truncation=options.strict_truncation)
+    for diagnostic in report.errors:
+        if options.precheck == "error" and diagnostic.code == ZERO_MASS_RULE:
+            raise ZeroMassError(f"pre-check {diagnostic.code}: "
+                                f"{diagnostic.message}")
+        warnings.warn(f"pre-check {diagnostic.code}: {diagnostic.message}",
+                      stacklevel=3)
 
 
 def clean(readings: ReadingSequence, prior, constraints: ConstraintSet,

@@ -129,6 +129,7 @@ class ConstraintSet:
                 raise ConstraintError(
                     f"not an integrity constraint: {constraint!r}")
         self._items: Tuple[Constraint, ...] = tuple(items)
+        self._item_set: FrozenSet[Constraint] = frozenset(items)
         self._du: FrozenSet[Tuple[str, str]] = frozenset(du)
         self._tt: Dict[Tuple[str, str], int] = tt
         self._lt: Dict[str, int] = lt
@@ -154,9 +155,32 @@ class ConstraintSet:
     def __len__(self) -> int:
         return len(self._items)
 
+    def __contains__(self, constraint: object) -> bool:
+        return constraint in self._item_set
+
     def __or__(self, other: "ConstraintSet") -> "ConstraintSet":
-        """The union of two constraint sets."""
-        return ConstraintSet(tuple(self) + tuple(other))
+        """The union of two constraint sets.
+
+        Constraints stated by both operands appear once (the frozen
+        constraint dataclasses are hashable, so duplicates are detected by
+        value); the left operand's statement order is preserved.
+        """
+        merged = dict.fromkeys(tuple(self) + tuple(other))
+        return ConstraintSet(merged)
+
+    def __eq__(self, other: object) -> bool:
+        """Two constraint sets are equal iff they state the same constraints.
+
+        Statement order and duplicate statements do not matter — equality
+        compares the *sets* of constraints, which is what determines the
+        cleaning semantics.
+        """
+        if not isinstance(other, ConstraintSet):
+            return NotImplemented
+        return self._item_set == other._item_set
+
+    def __hash__(self) -> int:
+        return hash(self._item_set)
 
     def __repr__(self) -> str:
         return (f"ConstraintSet(du={len(self._du)}, tt={len(self._tt)}, "

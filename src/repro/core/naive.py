@@ -15,7 +15,7 @@ from typing import Dict, Iterator, Optional, Tuple
 from repro.core.constraints import ConstraintSet
 from repro.core.lsequence import LSequence, Trajectory
 from repro.core.validity import is_valid_trajectory
-from repro.errors import InconsistentReadingsError, ReadingSequenceError
+from repro.errors import ReadingSequenceError, ZeroMassError
 
 __all__ = ["NaiveConditioner"]
 
@@ -54,14 +54,15 @@ class NaiveConditioner:
     def conditioned_distribution(self) -> Dict[Trajectory, float]:
         """Trajectory -> conditioned probability ``p*(t | IC)`` (cached).
 
-        Raises :class:`InconsistentReadingsError` when no valid trajectory
-        exists, matching the ct-graph algorithm.
+        Raises :class:`ZeroMassError` (an
+        :class:`~repro.errors.InconsistentReadingsError`) when no valid
+        trajectory exists, matching the ct-graph algorithm.
         """
         if self._conditioned is None:
             priors = dict(self.valid_trajectories())
             total = sum(priors.values())
             if not priors or total <= 0.0:
-                raise InconsistentReadingsError(
+                raise ZeroMassError(
                     "no trajectory compatible with the readings satisfies "
                     "the constraints")
             self._conditioned = {t: p / total for t, p in priors.items()}

@@ -10,15 +10,28 @@ the source and the *first* subsequent timestep spent at the destination
 (which is exactly Definition 2 read literally), and the treatment of
 latency-constrained stays cut short by the end of the monitoring window is
 selected by the ``truncated_stay_policy``.
+
+One generator — :func:`scan_violations` — performs the DU, LT and TT scans
+and yields structured :class:`Violation` records; :func:`violations`
+renders them as the human-readable strings (the single message-producing
+surface) and :func:`is_valid_trajectory` merely asks whether the generator
+yields anything, so the two surfaces cannot drift apart.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.constraints import ConstraintSet
 
-__all__ = ["is_valid_trajectory", "violations", "stays_of"]
+__all__ = [
+    "Violation",
+    "is_valid_trajectory",
+    "scan_violations",
+    "stays_of",
+    "violations",
+]
 
 
 def stays_of(trajectory: Sequence[str]) -> Iterator[Tuple[int, str, int]]:
@@ -33,6 +46,75 @@ def stays_of(trajectory: Sequence[str]) -> Iterator[Tuple[int, str, int]]:
     yield start, trajectory[start], len(trajectory) - start
 
 
+@dataclass(frozen=True)
+class Violation:
+    """One constraint violation, in machine-readable form.
+
+    ``kind`` is ``"DU"``, ``"LT"`` or ``"TT"``.  The remaining fields are
+    the violated constraint's arguments plus where the violation happened:
+
+    * DU — ``loc_a -> loc_b`` attempted at step ``time -> time + 1``;
+    * LT — the ``length``-step stay at ``loc_a`` starting at ``time`` is
+      shorter than ``bound``;
+    * TT — left ``loc_a`` at ``time``, reached ``loc_b`` at ``arrival``
+      with fewer than ``bound`` steps in between.
+    """
+
+    kind: str
+    loc_a: str
+    time: int
+    loc_b: Optional[str] = None
+    bound: Optional[int] = None
+    length: Optional[int] = None
+    arrival: Optional[int] = None
+
+
+def scan_violations(trajectory: Sequence[str], constraints: ConstraintSet,
+                    *, strict_truncation: bool = False) -> Iterator[Violation]:
+    """Yield every constraint violation of ``trajectory`` (Definition 2).
+
+    The shared scan behind :func:`violations` and
+    :func:`is_valid_trajectory`: DU on consecutive steps, LT on maximal
+    stays, TT between each departure and the next arrival at a constrained
+    destination.  ``strict_truncation`` selects the literal Definition 2
+    reading for final stays cut short by the window end (DESIGN.md §3).
+    """
+    n = len(trajectory)
+
+    # DU: consecutive steps.
+    for tau in range(n - 1):
+        here, there = trajectory[tau], trajectory[tau + 1]
+        if constraints.forbids_step(here, there):
+            yield Violation("DU", here, tau, loc_b=there)
+
+    # LT: every maximal stay must meet its location's bound.
+    if constraints.latency_bounds:
+        for start, location, length in stays_of(trajectory):
+            bound = constraints.latency_of(location)
+            if bound is None or length >= bound:
+                continue
+            if start + length == n and not strict_truncation:
+                continue
+            yield Violation("LT", location, start, bound=bound, length=length)
+
+    # TT: for every arrival, look back at the last stay at each constrained
+    # source.  Definition 2 quantifies over all pairs of timesteps, but the
+    # binding pair is always (last timestep at source, first timestep at
+    # destination), which is what this scan checks.
+    last_seen: Dict[str, int] = {}
+    previous = None
+    for tau, location in enumerate(trajectory):
+        if previous is not None and previous != location:
+            last_seen[previous] = tau - 1
+        if location != previous:
+            for source, steps in constraints.traveling_times_into(location):
+                departed = last_seen.get(source)
+                if departed is not None and tau - departed < steps:
+                    yield Violation("TT", source, departed, loc_b=location,
+                                    bound=steps, arrival=tau)
+        previous = location
+
+
 def violations(trajectory: Sequence[str], constraints: ConstraintSet,
                *, strict_truncation: bool = False) -> List[str]:
     """Every constraint violation of ``trajectory``, as human-readable strings.
@@ -42,75 +124,27 @@ def violations(trajectory: Sequence[str], constraints: ConstraintSet,
     the window end (see DESIGN.md §3).
     """
     found: List[str] = []
-    n = len(trajectory)
-
-    # DU: consecutive steps.
-    for tau in range(n - 1):
-        here, there = trajectory[tau], trajectory[tau + 1]
-        if constraints.forbids_step(here, there):
+    for v in scan_violations(trajectory, constraints,
+                             strict_truncation=strict_truncation):
+        if v.kind == "DU":
             found.append(
-                f"unreachable({here}, {there}) violated at step {tau}->{tau + 1}")
-
-    # LT: every maximal stay must meet its location's bound.
-    for start, location, length in stays_of(trajectory):
-        bound = constraints.latency_of(location)
-        if bound is None or length >= bound:
-            continue
-        runs_to_end = start + length == n
-        if runs_to_end and not strict_truncation:
-            continue
-        found.append(
-            f"latency({location}, {bound}) violated by the {length}-step "
-            f"stay starting at {start}")
-
-    # TT: for every arrival, look back at the last stay at each constrained
-    # source.  Definition 2 quantifies over all pairs of timesteps, but the
-    # binding pair is always (last timestep at source, first timestep at
-    # destination), which is what this scan checks.
-    last_seen = {}
-    previous = None
-    for tau, location in enumerate(trajectory):
-        if previous is not None and previous != location:
-            last_seen[previous] = tau - 1
-        if location != previous:
-            for source, steps in constraints.traveling_times_into(location):
-                departed = last_seen.get(source)
-                if departed is not None and tau - departed < steps:
-                    found.append(
-                        f"travelingTime({source}, {location}, {steps}) "
-                        f"violated: left {source} at {departed}, reached "
-                        f"{location} at {tau}")
-        previous = location
+                f"unreachable({v.loc_a}, {v.loc_b}) violated at step "
+                f"{v.time}->{v.time + 1}")
+        elif v.kind == "LT":
+            found.append(
+                f"latency({v.loc_a}, {v.bound}) violated by the "
+                f"{v.length}-step stay starting at {v.time}")
+        else:
+            found.append(
+                f"travelingTime({v.loc_a}, {v.loc_b}, {v.bound}) "
+                f"violated: left {v.loc_a} at {v.time}, reached "
+                f"{v.loc_b} at {v.arrival}")
     return found
 
 
 def is_valid_trajectory(trajectory: Sequence[str], constraints: ConstraintSet,
                         *, strict_truncation: bool = False) -> bool:
     """Whether ``trajectory`` satisfies every constraint (Definition 2)."""
-    n = len(trajectory)
-
-    for tau in range(n - 1):
-        if constraints.forbids_step(trajectory[tau], trajectory[tau + 1]):
-            return False
-
-    if constraints.latency_bounds:
-        for start, location, length in stays_of(trajectory):
-            bound = constraints.latency_of(location)
-            if bound is None or length >= bound:
-                continue
-            if start + length == n and not strict_truncation:
-                continue
-            return False
-
-    last_seen = {}
-    previous = None
-    for tau, location in enumerate(trajectory):
-        if previous is not None and previous != location:
-            last_seen[previous] = tau - 1
-        if location != previous:
-            for source, steps in constraints.traveling_times_into(location):
-                departed = last_seen.get(source)
-                if departed is not None and tau - departed < steps:
-                    return False
-        previous = location
-    return True
+    scan = scan_violations(trajectory, constraints,
+                           strict_truncation=strict_truncation)
+    return next(iter(scan), None) is None

@@ -15,6 +15,7 @@ __all__ = [
     "ConstraintError",
     "ReadingSequenceError",
     "InconsistentReadingsError",
+    "ZeroMassError",
     "PatternSyntaxError",
     "QueryError",
 ]
@@ -54,6 +55,24 @@ class InconsistentReadingsError(ReproError):
     Conditioning is undefined in this case (the valid prior mass is zero);
     both the ct-graph algorithm and the naive enumerator raise this error.
     """
+
+
+class ZeroMassError(InconsistentReadingsError):
+    """The total valid prior mass is exactly 0 — conditioning is undefined.
+
+    This is the divide-by-zero of Definition 1: every trajectory compatible
+    with the readings violates some constraint, so there is nothing to
+    renormalise.  Raised by the conditioning/normalisation paths (both
+    Algorithm 1 and the naive enumerator).  The static pre-check
+    (``rfid-ctg analyze``, rule C005) predicts this condition *before* the
+    expensive forward/backward pass runs.
+    """
+
+    def __init__(self, detail: str) -> None:
+        super().__init__(
+            f"{detail}; the valid prior mass is 0 and conditioning is "
+            "undefined — run `rfid-ctg analyze` (repro.analysis.analyze) "
+            "on the constraints and readings to locate the contradiction")
 
 
 class PatternSyntaxError(ReproError):

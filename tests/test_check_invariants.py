@@ -1,0 +1,120 @@
+"""Tests for the repo-invariant AST lint (tools/check_invariants.py)."""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from check_invariants import check_source, main  # noqa: E402
+
+
+def findings_for(source: str) -> list:
+    return check_source(textwrap.dedent(source))
+
+
+class TestExactFloatEquality:
+    def test_fractional_literal_flagged(self):
+        (finding,) = findings_for("if p == 0.5:\n    pass\n")
+        assert finding.code == "INV001"
+
+    def test_not_equal_flagged(self):
+        (finding,) = findings_for("ok = value != 1e-6\n")
+        assert finding.code == "INV001"
+
+    def test_negative_fraction_flagged(self):
+        (finding,) = findings_for("ok = value == -0.25\n")
+        assert finding.code == "INV001"
+
+    def test_sentinels_allowed(self):
+        assert findings_for("if p == 0.0 or p == 1.0 or p == -1.0:\n"
+                            "    pass\n") == []
+
+    def test_ordering_comparisons_allowed(self):
+        assert findings_for("if p < 0.5 or p >= 0.125:\n    pass\n") == []
+
+    def test_integer_equality_allowed(self):
+        assert findings_for("if n == 3:\n    pass\n") == []
+
+    def test_chained_comparison_flagged(self):
+        (finding,) = findings_for("ok = 0.0 <= x == 0.3\n")
+        assert finding.code == "INV001"
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self):
+        (finding,) = findings_for(
+            "try:\n    pass\nexcept:\n    pass\n")
+        assert finding.code == "INV002"
+
+    def test_typed_except_allowed(self):
+        assert findings_for(
+            "try:\n    pass\nexcept Exception:\n    pass\n") == []
+
+
+class TestFrozenMutation:
+    def test_setattr_outside_post_init_flagged(self):
+        (finding,) = findings_for(
+            "def poke(obj):\n"
+            "    object.__setattr__(obj, 'x', 1)\n")
+        assert finding.code == "INV003"
+
+    def test_setattr_inside_post_init_allowed(self):
+        assert findings_for(
+            "class C:\n"
+            "    def __post_init__(self):\n"
+            "        object.__setattr__(self, 'x', 1)\n") == []
+
+    def test_module_level_setattr_flagged(self):
+        (finding,) = findings_for("object.__setattr__(thing, 'x', 1)\n")
+        assert finding.code == "INV003"
+
+    def test_nested_helper_inside_post_init_is_still_sanctioned(self):
+        # The enclosing-function stack includes __post_init__, which is the
+        # construction-time window the invariant protects.
+        assert findings_for(
+            "class C:\n"
+            "    def __post_init__(self):\n"
+            "        def fix(o):\n"
+            "            object.__setattr__(o, 'x', 1)\n"
+            "        fix(self)\n") == []
+
+
+class TestSuppression:
+    def test_invariant_ok_comment_suppresses(self):
+        source = "ok = p == 0.5  # invariant-ok: INV001\n"
+        assert check_source(source) == []
+
+    def test_suppression_is_code_specific(self):
+        source = "ok = p == 0.5  # invariant-ok: INV002\n"
+        (finding,) = check_source(source)
+        assert finding.code == "INV001"
+
+
+class TestMain:
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        assert main([str(tmp_path)]) == 0
+        assert "1 file(s) clean" in capsys.readouterr().out
+
+    def test_findings_exit_1_with_locations(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("flag = p == 0.5\n")
+        assert main([str(target)]) == 1
+        captured = capsys.readouterr()
+        assert "bad.py:1: INV001" in captured.out
+
+    def test_unparsable_file_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "broken.py"
+        target.write_text("def (:\n")
+        assert main([str(target)]) == 2
+
+    def test_no_arguments_exits_2(self, capsys):
+        assert main([]) == 2
+
+    def test_repo_sources_are_clean(self):
+        repo = Path(__file__).resolve().parent.parent
+        assert main([str(repo / "src"), str(repo / "tools")]) == 0

@@ -102,6 +102,39 @@ class TestConstraintSet:
         assert merged.forbids_step("A", "B")
         assert merged.latency_of("C") == 2
 
+    def test_union_deduplicates_shared_members(self):
+        shared = Unreachable("A", "B")
+        a = ConstraintSet([shared, Latency("C", 2)])
+        b = ConstraintSet([shared, TravelingTime("A", "C", 3)])
+        merged = a | b
+        assert len(merged) == 3
+        assert len(a | a) == len(a)
+
+    def test_union_preserves_first_seen_order(self):
+        a = ConstraintSet([Unreachable("A", "B"), Latency("C", 2)])
+        b = ConstraintSet([Latency("C", 2), Unreachable("B", "A")])
+        assert list(a | b) == [Unreachable("A", "B"), Latency("C", 2),
+                               Unreachable("B", "A")]
+
+    def test_contains(self):
+        cs = ConstraintSet([Unreachable("A", "B"), Latency("C", 2)])
+        assert Unreachable("A", "B") in cs
+        assert Latency("C", 2) in cs
+        assert Unreachable("B", "A") not in cs
+        assert "not a constraint" not in cs
+
+    def test_equality_ignores_statement_order(self):
+        a = ConstraintSet([Unreachable("A", "B"), Latency("C", 2)])
+        b = ConstraintSet([Latency("C", 2), Unreachable("A", "B")])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != ConstraintSet([Unreachable("A", "B")])
+
+    def test_equality_against_foreign_types(self):
+        cs = ConstraintSet([Unreachable("A", "B")])
+        assert cs != {Unreachable("A", "B")}
+        assert cs != "unreachable(A, B)"
+
     def test_only_filters_by_kind(self, simple_constraints):
         du_only = simple_constraints.only(Unreachable)
         assert len(du_only) == 2

@@ -32,6 +32,25 @@ class TestHierarchy:
             build_ct_graph(LSequence([{"A": 1.0}, {"B": 1.0}]),
                            ConstraintSet([Unreachable("A", "B")]))
 
+    def test_zero_mass_is_an_inconsistent_readings_error(self):
+        # Existing callers catching InconsistentReadingsError must keep
+        # catching the zero-mass case after the subclass split.
+        assert issubclass(errors.ZeroMassError,
+                          errors.InconsistentReadingsError)
+
+    def test_zero_mass_message_points_at_the_analyzer(self):
+        error = errors.ZeroMassError("no valid source state")
+        assert "no valid source state" in str(error)
+        assert "rfid-ctg analyze" in str(error)
+        assert "repro.analysis.analyze" in str(error)
+
+    def test_algorithm_raises_zero_mass_on_doomed_input(self):
+        from repro import ConstraintSet, LSequence, Unreachable, build_ct_graph
+
+        with pytest.raises(errors.ZeroMassError):
+            build_ct_graph(LSequence([{"A": 1.0}, {"B": 1.0}]),
+                           ConstraintSet([Unreachable("A", "B")]))
+
     def test_inconsistent_is_not_a_sequence_error(self):
         # Callers distinguish "your data is malformed" from "no valid
         # interpretation exists" — these must stay separate branches.

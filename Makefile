@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck check bench bench-paper report examples loc clean
+.PHONY: install test lint typecheck check bench bench-paper bench-parallel report examples loc clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -35,6 +35,12 @@ bench:
 
 bench-paper:
 	REPRO_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Multi-object batch runtime: sequential vs parallel cleaning of one
+# workload, output-identity check, BENCH_parallel.json with the speedup.
+bench-parallel:
+	$(PYTHON) benchmarks/bench_parallel.py --out BENCH_parallel.json
+	$(PYTHON) benchmarks/bench_parallel.py --check BENCH_parallel.json
 
 report:
 	$(PYTHON) -m repro.cli report --both --scale small --out evaluation_report.md

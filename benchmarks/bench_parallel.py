@@ -1,0 +1,239 @@
+"""Sequential vs. parallel batch cleaning: the repo's perf trajectory.
+
+Unlike the pytest-benchmark figures, this bench emits a machine-readable
+``BENCH_parallel.json`` so successive commits can be compared: it cleans
+the same multi-object workload once sequentially (``workers=1``, the
+in-process loop) and once through the process pool, records both
+wall-clocks, the speedup, and per-object stats, and asserts the two runs
+produced probability-identical graphs.
+
+Usage::
+
+    python benchmarks/bench_parallel.py                      # full workload
+    python benchmarks/bench_parallel.py --smoke              # CI-sized
+    python benchmarks/bench_parallel.py --check BENCH_parallel.json
+
+``--check`` validates an existing result file against the schema and exits
+non-zero on problems — that (and only that) is what CI asserts: speedup is
+hardware (a single-core container cannot beat sequential; the file records
+``cpu_count`` so readers can judge the number).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.constraints import (
+    ConstraintSet,
+    Latency,
+    TravelingTime,
+    Unreachable,
+)
+from repro.core.lsequence import LSequence
+from repro.runtime import clean_many
+
+SCHEMA_VERSION = 1
+
+#: The same constraint shape as ``bench_scaling`` — DU + LT + TT all bind.
+CONSTRAINTS = ConstraintSet([
+    Unreachable("A", "C"), Unreachable("C", "A"),
+    Latency("B", 3),
+    TravelingTime("A", "D", 4), TravelingTime("D", "A", 4),
+])
+
+_PHASES = (
+    {"A": 0.4, "B": 0.4, "C": 0.2},
+    {"B": 0.6, "D": 0.4},
+    {"B": 0.5, "C": 0.3, "D": 0.2},
+    {"A": 0.5, "B": 0.5},
+)
+
+
+def make_workload(objects: int, duration: int) -> List[LSequence]:
+    """``objects`` synthetic l-sequences with rotated phase offsets, so the
+    objects are equally heavy but not byte-identical."""
+    workload = []
+    for index in range(objects):
+        rows = [_PHASES[(tau + index) % len(_PHASES)]
+                for tau in range(duration)]
+        workload.append(LSequence(rows))
+    return workload
+
+
+def _graphs_identical(left, right) -> bool:
+    """Exact (bitwise) equality of two cleaned graphs' distributions."""
+    if (left.num_nodes != right.num_nodes
+            or left.num_edges != right.num_edges):
+        return False
+    for tau in (0, left.duration // 2, left.duration - 1):
+        if left.location_marginal(tau) != right.location_marginal(tau):
+            return False
+    return True
+
+
+def run(objects: int, duration: int, workers: int,
+        chunk_size: Optional[int]) -> Dict[str, object]:
+    workload = make_workload(objects, duration)
+
+    sequential = clean_many(workload, CONSTRAINTS, workers=1)
+    parallel = clean_many(workload, CONSTRAINTS, workers=workers,
+                          chunk_size=chunk_size)
+
+    identical = all(
+        (not s.ok and not p.ok) or (s.ok and p.ok
+                                    and _graphs_identical(s.graph, p.graph))
+        for s, p in zip(sequential, parallel))
+    failures = len(sequential.failures) + len(parallel.failures)
+
+    per_object = []
+    for s, p in zip(sequential, parallel):
+        per_object.append({
+            "index": s.index,
+            "duration": duration,
+            "nodes": s.graph.num_nodes if s.ok else None,
+            "edges": s.graph.num_edges if s.ok else None,
+            "sequential_seconds": s.seconds,
+            "parallel_seconds": p.seconds,
+        })
+
+    return {
+        "benchmark": "bench_parallel",
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "cpu_count": os.cpu_count(),
+        "workload": {
+            "objects": objects,
+            "duration": duration,
+            "generator": "synthetic-phase4",
+            "constraints": [str(c) for c in CONSTRAINTS],
+        },
+        "sequential": {
+            "workers": 1,
+            "wall_seconds": sequential.wall_seconds,
+            "compute_seconds": sequential.compute_seconds,
+        },
+        "parallel": {
+            "workers": parallel.workers,
+            "chunk_size": parallel.chunk_size,
+            "wall_seconds": parallel.wall_seconds,
+            "compute_seconds": parallel.compute_seconds,
+        },
+        "speedup": sequential.wall_seconds / parallel.wall_seconds,
+        "identical_output": identical,
+        "failures": failures,
+        "per_object": per_object,
+    }
+
+
+def validate_payload(payload: Dict[str, object]) -> List[str]:
+    """Schema check of a ``BENCH_parallel.json`` payload; [] when valid."""
+    problems: List[str] = []
+
+    def expect(condition: bool, message: str) -> None:
+        if not condition:
+            problems.append(message)
+
+    expect(payload.get("benchmark") == "bench_parallel",
+           "benchmark name missing or wrong")
+    expect(payload.get("schema_version") == SCHEMA_VERSION,
+           f"schema_version must be {SCHEMA_VERSION}")
+    expect(isinstance(payload.get("cpu_count"), int),
+           "cpu_count must be an int")
+    workload = payload.get("workload")
+    expect(isinstance(workload, dict)
+           and isinstance(workload.get("objects"), int)
+           and workload["objects"] > 0
+           and isinstance(workload.get("duration"), int)
+           and isinstance(workload.get("constraints"), list),
+           "workload must describe objects/duration/constraints")
+    for side in ("sequential", "parallel"):
+        timing = payload.get(side)
+        if not isinstance(timing, dict):
+            problems.append(f"{side} timing block missing")
+            continue
+        expect(isinstance(timing.get("workers"), int)
+               and timing["workers"] >= 1, f"{side}.workers must be >= 1")
+        expect(isinstance(timing.get("wall_seconds"), float)
+               and timing["wall_seconds"] > 0.0,
+               f"{side}.wall_seconds must be a positive float")
+    expect(isinstance(payload.get("speedup"), float)
+           and payload["speedup"] > 0.0,
+           "speedup must be a positive float")
+    expect(payload.get("identical_output") is True,
+           "identical_output must be true — parallel cleaning changed "
+           "the results")
+    expect(payload.get("failures") == 0, "workload objects failed to clean")
+    per_object = payload.get("per_object")
+    if isinstance(per_object, list) and isinstance(workload, dict):
+        expect(len(per_object) == workload.get("objects"),
+               "per_object length disagrees with workload.objects")
+        for entry in per_object:
+            if not (isinstance(entry, dict)
+                    and isinstance(entry.get("index"), int)
+                    and isinstance(entry.get("sequential_seconds"), float)
+                    and isinstance(entry.get("parallel_seconds"), float)):
+                problems.append(f"malformed per_object entry: {entry!r}")
+                break
+    else:
+        problems.append("per_object must be a list")
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--objects", type=int, default=12)
+    parser.add_argument("--duration", type=int, default=600,
+                        help="timesteps per object")
+    parser.add_argument("--workers", type=int,
+                        default=min(4, os.cpu_count() or 1))
+    parser.add_argument("--chunk-size", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI workload (4 objects x 60 steps, "
+                             "2 workers)")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate an existing result file and exit")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        with open(args.check) as handle:
+            payload = json.load(handle)
+        problems = validate_payload(payload)
+        for problem in problems:
+            print(f"SCHEMA: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{args.check}: well-formed (speedup "
+                  f"{payload['speedup']:.2f}x on "
+                  f"{payload['cpu_count']} CPUs)")
+        return 1 if problems else 0
+
+    if args.smoke:
+        args.objects, args.duration, args.workers = 4, 60, 2
+
+    payload = run(args.objects, args.duration, args.workers, args.chunk_size)
+    problems = validate_payload(payload)
+    if problems:
+        for problem in problems:
+            print(f"SELF-CHECK: {problem}", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    seq = payload["sequential"]["wall_seconds"]
+    par = payload["parallel"]["wall_seconds"]
+    print(f"objects={args.objects} duration={args.duration} "
+          f"workers={payload['parallel']['workers']}")
+    print(f"sequential {seq:.3f}s  parallel {par:.3f}s  "
+          f"speedup {payload['speedup']:.2f}x "
+          f"(cpu_count={payload['cpu_count']})")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

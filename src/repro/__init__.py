@@ -40,6 +40,7 @@ from repro.core.sampling import TrajectorySampler, rejection_sample
 from repro.core.validity import is_valid_trajectory, violations
 from repro.errors import (
     ConstraintError,
+    GraphInvariantError,
     InconsistentReadingsError,
     MapModelError,
     PatternSyntaxError,
@@ -47,6 +48,13 @@ from repro.errors import (
     ReadingSequenceError,
     ReproError,
     ZeroMassError,
+)
+from repro.runtime import (
+    BatchCleaner,
+    BatchOutcome,
+    BatchResult,
+    SharedCleaningPlan,
+    clean_many,
 )
 from repro.geometry import Point, Rect, Segment
 from repro.inference import (

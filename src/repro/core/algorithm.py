@@ -127,14 +127,29 @@ class CleaningStats:
 
 
 def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
-                   options: CleaningOptions = CleaningOptions()) -> CTGraph:
+                   options: CleaningOptions = CleaningOptions(), *,
+                   plan=None) -> CTGraph:
     """Run Algorithm 1: the ct-graph of ``lsequence`` under ``constraints``.
 
     Raises :class:`InconsistentReadingsError` when no trajectory compatible
     with the l-sequence satisfies the constraints (conditioning undefined).
     The returned graph carries its :class:`CleaningStats` as ``graph.stats``.
+
+    ``plan`` is an optional
+    :class:`repro.runtime.SharedCleaningPlan` (or any object with the same
+    ``constraints``/``du_row``/``precheck`` surface) holding precomputation
+    shared across the many objects of a batch: cached DU-reachability rows
+    and a run-once analyzer pre-check.  Passing a plan never changes the
+    result — only where the bookkeeping lives.  The plan must be built for
+    this very constraint set.
     """
-    if options.precheck != "off":
+    if plan is not None:
+        if plan.constraints != constraints:
+            raise ReadingSequenceError(
+                "the shared cleaning plan was built for a different "
+                "constraint set")
+        plan.precheck(lsequence, options)
+    elif options.precheck != "off":
         _run_precheck(lsequence, constraints, options)
 
     stats = CleaningStats()
@@ -166,18 +181,27 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
         frontier = levels[tau]
         next_level = levels[tau + 1]
         candidates = lsequence.candidates(tau + 1)
+        support = tuple(candidates) if plan is not None else ()
         filter_binding = options.strict_truncation and tau + 1 == last
         # Rule 2 (DU) is hoisted: the reachable candidates are shared by
-        # every node at the same location of this level.
+        # every node at the same location of this level.  With a shared
+        # plan the (location, support) -> destinations row is additionally
+        # cached across levels and across the objects of a batch.
         reachable: Dict[str, list] = {}
         for node in frontier.values():
             location = node.location
             allowed = reachable.get(location)
             if allowed is None:
-                allowed = [(destination, probability)
-                           for destination, probability in candidates.items()
-                           if not constraints.forbids_step(location,
-                                                           destination)]
+                if plan is not None:
+                    allowed = [(destination, candidates[destination])
+                               for destination in plan.du_row(location,
+                                                              support)]
+                else:
+                    allowed = [(destination, probability)
+                               for destination, probability
+                               in candidates.items()
+                               if not constraints.forbids_step(location,
+                                                               destination)]
                 reachable[location] = allowed
             state = (location, node.stay, node.departures)
             for destination, probability in allowed:
@@ -266,10 +290,8 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
     for node in source_probabilities:
         source_probabilities[node] /= total
 
-    graph = CTGraph([tuple(level.values()) for level in levels],
-                    source_probabilities)
-    graph.stats = stats
-    return graph
+    return CTGraph([tuple(level.values()) for level in levels],
+                   source_probabilities, stats=stats)
 
 
 def _run_precheck(lsequence: LSequence, constraints: ConstraintSet,

@@ -20,11 +20,14 @@ from __future__ import annotations
 
 import math
 import sys
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.lsequence import Trajectory
 from repro.core.nodes import Departures
-from repro.errors import QueryError
+from repro.errors import GraphInvariantError, QueryError
+
+if TYPE_CHECKING:
+    from repro.core.algorithm import CleaningStats
 
 __all__ = ["CTNode", "CTGraph"]
 
@@ -38,7 +41,8 @@ class CTNode:
     finished nodes as read-only.
     """
 
-    __slots__ = ("tau", "location", "stay", "departures", "edges", "parents")
+    __slots__ = ("tau", "location", "stay", "departures", "edges", "parents",
+                 "_location_index")
 
     def __init__(self, tau: int, location: str, stay: Optional[int],
                  departures: Departures) -> None:
@@ -48,13 +52,33 @@ class CTNode:
         self.departures = departures
         self.edges: Dict["CTNode", float] = {}
         self.parents: List["CTNode"] = []
+        # Lazily built query index: location -> (child, probability).  Holds
+        # the edges dict it was built from so a *replaced* edges dict (the
+        # backward pass swaps it wholesale) invalidates the cache.
+        self._location_index: Optional[
+            Tuple[Dict["CTNode", float],
+                  Dict[str, Tuple["CTNode", float]]]] = None
+
+    def _edges_by_location(self) -> Dict[str, Tuple["CTNode", float]]:
+        """The per-location edge index, built on first query.
+
+        Definition 3 guarantees at most one successor per (node, location),
+        so the index is lossless.  Nodes of a finished graph are read-only
+        by contract; the index only auto-invalidates when ``edges`` is
+        rebound to a new dict.
+        """
+        cached = self._location_index
+        if cached is None or cached[0] is not self.edges:
+            index = {child.location: (child, probability)
+                     for child, probability in self.edges.items()}
+            cached = (self.edges, index)
+            self._location_index = cached
+        return cached[1]
 
     def successor_for(self, location: str) -> Optional["CTNode"]:
         """The unique successor at ``location``, if the edge exists."""
-        for child in self.edges:
-            if child.location == location:
-                return child
-        return None
+        entry = self._edges_by_location().get(location)
+        return entry[0] if entry is not None else None
 
     def __repr__(self) -> str:
         stay = "⊥" if self.stay is None else str(self.stay)
@@ -66,11 +90,16 @@ class CTGraph:
     """A finished conditioned-trajectory graph."""
 
     def __init__(self, levels: Sequence[Sequence[CTNode]],
-                 source_probabilities: Dict[CTNode, float]) -> None:
+                 source_probabilities: Dict[CTNode, float],
+                 stats: Optional["CleaningStats"] = None) -> None:
         self._levels: Tuple[Tuple[CTNode, ...], ...] = tuple(
             tuple(level) for level in levels)
         self._source_probabilities = dict(source_probabilities)
         self._node_marginals: Optional[Dict[CTNode, float]] = None
+        #: The construction counters of Algorithm 1, ``None`` for graphs
+        #: built by hand or loaded from disk (declared here so every graph
+        #: has the attribute — not just the ones ``build_ct_graph`` returns).
+        self.stats: Optional["CleaningStats"] = stats
 
     # ------------------------------------------------------------------
     # structure
@@ -162,11 +191,7 @@ class CTGraph:
             return 0.0
         probability = self.source_probability(node)
         for location in trajectory[1:]:
-            step = None
-            for child, p in node.edges.items():
-                if child.location == location:
-                    step = (child, p)
-                    break
+            step = node._edges_by_location().get(location)
             if step is None:
                 return 0.0
             node, p = step
@@ -204,25 +229,89 @@ class CTGraph:
     # diagnostics
     # ------------------------------------------------------------------
     def validate(self, tolerance: float = 1e-6) -> None:
-        """Assert the Definition 4 invariants; raises ``AssertionError``.
+        """Check the Definition 4 invariants; raises
+        :class:`~repro.errors.GraphInvariantError` on the first violation.
 
         Used by tests and available to cautious callers; O(nodes + edges).
+        The checks are explicit ``raise`` statements — not ``assert`` — so
+        they still run under ``python -O`` / ``PYTHONOPTIMIZE``.  The error
+        type subclasses :class:`AssertionError`, keeping the historical
+        contract for callers that caught assertion failures.
         """
         total_sources = math.fsum(self._source_probabilities.values())
-        assert abs(total_sources - 1.0) <= tolerance, (
-            f"source probabilities sum to {total_sources}")
+        if abs(total_sources - 1.0) > tolerance:
+            raise GraphInvariantError(
+                f"source probabilities sum to {total_sources}")
         for tau, level in enumerate(self._levels):
             for node in level:
-                assert node.tau == tau, f"node {node!r} filed at level {tau}"
+                if node.tau != tau:
+                    raise GraphInvariantError(
+                        f"node {node!r} filed at level {tau}")
                 if tau < self.duration - 1:
-                    assert node.edges, f"non-target node {node!r} has no successors"
+                    if not node.edges:
+                        raise GraphInvariantError(
+                            f"non-target node {node!r} has no successors")
                     total = math.fsum(node.edges.values())
-                    assert abs(total - 1.0) <= tolerance, (
-                        f"outgoing probabilities of {node!r} sum to {total}")
-                else:
-                    assert not node.edges, f"target node {node!r} has successors"
-                if tau > 0:
-                    assert node.parents, f"non-source node {node!r} is unreachable"
+                    if abs(total - 1.0) > tolerance:
+                        raise GraphInvariantError(
+                            f"outgoing probabilities of {node!r} sum to {total}")
+                elif node.edges:
+                    raise GraphInvariantError(
+                        f"target node {node!r} has successors")
+                if tau > 0 and not node.parents:
+                    raise GraphInvariantError(
+                        f"non-source node {node!r} is unreachable")
+
+    # ------------------------------------------------------------------
+    # pickling (the batch runtime ships graphs between processes)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        """Flatten the node web into id-indexed lists.
+
+        Default pickling would recurse through the ``edges``/``parents``
+        object graph — one stack frame chain per timestep — and overflow
+        the interpreter recursion limit on long durations.  The flat form
+        is also smaller: parent lists are derivable and are rebuilt on
+        load rather than stored.
+        """
+        ids: Dict[CTNode, int] = {}
+        for node in self.nodes():
+            ids[node] = len(ids)
+        return {
+            "levels": [[(node.location, node.stay, node.departures)
+                        for node in level] for level in self._levels],
+            "edges": [[(ids[child], probability)
+                       for child, probability in node.edges.items()]
+                      for node in self.nodes()],
+            "sources": [(ids[node], probability)
+                        for node, probability
+                        in self._source_probabilities.items()],
+            "stats": self.stats,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        nodes: List[CTNode] = []
+        levels: List[Tuple[CTNode, ...]] = []
+        for tau, level_state in enumerate(state["levels"]):
+            level_nodes = tuple(CTNode(tau, location, stay, departures)
+                                for location, stay, departures in level_state)
+            levels.append(level_nodes)
+            nodes.extend(level_nodes)
+        # Edge insertion order is preserved, so ``paths()`` and the edge
+        # dicts of a round-tripped graph iterate exactly like the original;
+        # parents are rebuilt in the same (level-major) order Algorithm 1
+        # appends them.
+        for node, edge_state in zip(nodes, state["edges"]):
+            for child_id, probability in edge_state:
+                child = nodes[child_id]
+                node.edges[child] = probability
+                child.parents.append(node)
+        self._levels = tuple(levels)
+        self._source_probabilities = {nodes[index]: probability
+                                      for index, probability
+                                      in state["sources"]}
+        self._node_marginals = None
+        self.stats = state["stats"]
 
     def to_networkx(self):
         """The graph as a ``networkx.DiGraph`` for external tooling.

@@ -16,6 +16,7 @@ __all__ = [
     "ReadingSequenceError",
     "InconsistentReadingsError",
     "ZeroMassError",
+    "GraphInvariantError",
     "PatternSyntaxError",
     "QueryError",
 ]
@@ -73,6 +74,17 @@ class ZeroMassError(InconsistentReadingsError):
             f"{detail}; the valid prior mass is 0 and conditioning is "
             "undefined — run `rfid-ctg analyze` (repro.analysis.analyze) "
             "on the constraints and readings to locate the contradiction")
+
+
+class GraphInvariantError(ReproError, AssertionError):
+    """A finished ct-graph violates a Definition 4 invariant.
+
+    Raised by :meth:`repro.core.ctgraph.CTGraph.validate`.  The class also
+    derives from :class:`AssertionError` so long-standing callers that
+    caught assertion failures keep working — but unlike a bare ``assert``,
+    the checks are real ``raise`` statements and therefore survive
+    ``python -O`` / ``PYTHONOPTIMIZE`` (which strips asserts).
+    """
 
 
 class PatternSyntaxError(ReproError):

@@ -1,0 +1,25 @@
+"""The multi-object cleaning runtime.
+
+One object is Algorithm 1's business (:mod:`repro.core.algorithm`); a
+fleet of objects is this package's: :func:`clean_many` /
+:class:`BatchCleaner` fan a collection of reading/l-sequences across
+worker processes with per-constraint-set precomputation
+(:class:`SharedCleaningPlan`), per-object failure isolation and
+deterministic, input-ordered results.  See ``docs/runtime.md``.
+"""
+
+from repro.runtime.batch import (
+    BatchCleaner,
+    BatchOutcome,
+    BatchResult,
+    clean_many,
+)
+from repro.runtime.plan import SharedCleaningPlan
+
+__all__ = [
+    "BatchCleaner",
+    "BatchOutcome",
+    "BatchResult",
+    "SharedCleaningPlan",
+    "clean_many",
+]

@@ -1,0 +1,300 @@
+"""The multi-object cleaning runtime: ``clean_many`` / :class:`BatchCleaner`.
+
+Algorithm 1 cleans one object; real deployments clean fleets.  Cleaning is
+embarrassingly parallel across tags — objects share nothing but the
+constraint set — so the batch runtime fans a collection of l-sequences (or
+raw reading sequences plus a prior) across a ``ProcessPoolExecutor``:
+
+>>> from repro.runtime import clean_many
+>>> result = clean_many(lsequences, constraints, workers=4)   # doctest: +SKIP
+>>> result[0].graph                                           # doctest: +SKIP
+
+Guarantees, all pinned by tests:
+
+* **determinism** — outcomes come back in input order, and every graph is
+  path-for-path probability-identical to a sequential
+  :func:`~repro.core.algorithm.build_ct_graph` run on the same object
+  (workers only move where the arithmetic happens, never what it is);
+* **failure isolation** — a :class:`~repro.errors.ReproError` raised for
+  one object (typically :class:`~repro.errors.ZeroMassError`) becomes that
+  object's :class:`BatchOutcome`; the rest of the batch is unaffected.
+  Non-domain exceptions (genuine bugs) still propagate and abort;
+* **shared precomputation** — each worker process keeps one
+  :class:`~repro.runtime.plan.SharedCleaningPlan` per distinct constraint
+  set: DU-reachability rows are cached across objects and the analyzer
+  pre-check's static rules run once per plan instead of once per object;
+* **debuggability** — ``workers=1`` runs the exact same code path in
+  process (no executor, no pickling), so breakpoints and profilers work.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.algorithm import CleaningOptions, CleaningStats, build_ct_graph
+from repro.core.constraints import ConstraintSet
+from repro.core.ctgraph import CTGraph
+from repro.core.lsequence import LSequence, ReadingSequence
+from repro.errors import ReadingSequenceError, ReproError
+from repro.runtime.plan import SharedCleaningPlan
+
+__all__ = ["BatchOutcome", "BatchResult", "BatchCleaner", "clean_many"]
+
+#: What the batch accepts per object: an interpreted l-sequence, or raw
+#: readings (interpreted in the worker through the cleaner's ``prior``).
+SequenceLike = Union[LSequence, ReadingSequence]
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """The result of cleaning one object of a batch.
+
+    Exactly one of ``graph`` / ``error`` is set.  Failed outcomes carry the
+    exception's class name and message rather than the exception object —
+    stable under pickling and enough to triage (``rfid-ctg analyze``
+    locates the contradiction).
+    """
+
+    index: int
+    graph: Optional[CTGraph] = None
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.graph is not None
+
+    @property
+    def stats(self) -> Optional[CleaningStats]:
+        """The construction counters (``None`` for failed outcomes)."""
+        return self.graph.stats if self.graph is not None else None
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """All outcomes of one batch run, in input order."""
+
+    outcomes: Tuple[BatchOutcome, ...]
+    wall_seconds: float
+    workers: int
+    chunk_size: int
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self) -> Iterator[BatchOutcome]:
+        return iter(self.outcomes)
+
+    def __getitem__(self, index: int) -> BatchOutcome:
+        return self.outcomes[index]
+
+    @property
+    def graphs(self) -> Tuple[Optional[CTGraph], ...]:
+        """Per-object graphs, ``None`` where cleaning failed."""
+        return tuple(outcome.graph for outcome in self.outcomes)
+
+    @property
+    def failures(self) -> Tuple[BatchOutcome, ...]:
+        return tuple(o for o in self.outcomes if not o.ok)
+
+    @property
+    def cleaned(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok)
+
+    @property
+    def compute_seconds(self) -> float:
+        """Summed per-object cleaning time (compare with ``wall_seconds``)."""
+        return sum(outcome.seconds for outcome in self.outcomes)
+
+    def aggregate_stats(self) -> CleaningStats:
+        """Summed :class:`CleaningStats` over the successful outcomes."""
+        total = CleaningStats()
+        for outcome in self.outcomes:
+            stats = outcome.stats
+            if stats is None:
+                continue
+            total.nodes_created += stats.nodes_created
+            total.nodes_removed += stats.nodes_removed
+            total.edges_created += stats.edges_created
+            total.edges_removed += stats.edges_removed
+        return total
+
+    def __repr__(self) -> str:
+        return (f"BatchResult(objects={len(self.outcomes)}, "
+                f"cleaned={self.cleaned}, failed={len(self.failures)}, "
+                f"workers={self.workers}, wall={self.wall_seconds:.3f}s)")
+
+
+# ----------------------------------------------------------------------
+# worker-process machinery (module level so it pickles by reference)
+# ----------------------------------------------------------------------
+
+#: One task: ``(input index, constraint-table key, sequence)``.
+_Task = Tuple[int, int, SequenceLike]
+
+#: Per-process state installed by the pool initializer: the plans (one per
+#: distinct constraint set), the options, and the optional prior.
+_worker_state: Optional[Tuple[Dict[int, SharedCleaningPlan],
+                              CleaningOptions, Optional[object]]] = None
+
+
+def _init_worker(table: Dict[int, ConstraintSet], options: CleaningOptions,
+                 prior: Optional[object]) -> None:
+    global _worker_state
+    _worker_state = ({key: SharedCleaningPlan(constraints)
+                      for key, constraints in table.items()}, options, prior)
+
+
+def _clean_one(index: int, sequence: SequenceLike,
+               plan: SharedCleaningPlan, options: CleaningOptions,
+               prior: Optional[object]) -> BatchOutcome:
+    started = time.perf_counter()
+    try:
+        if isinstance(sequence, ReadingSequence):
+            lsequence = LSequence.from_readings(sequence, prior)
+        else:
+            lsequence = sequence
+        graph = build_ct_graph(lsequence, plan.constraints, options,
+                               plan=plan)
+    except ReproError as error:
+        return BatchOutcome(index=index, error_type=type(error).__name__,
+                            error=str(error),
+                            seconds=time.perf_counter() - started)
+    return BatchOutcome(index=index, graph=graph,
+                        seconds=time.perf_counter() - started)
+
+
+def _worker_clean(task: _Task) -> BatchOutcome:
+    if _worker_state is None:
+        raise RuntimeError("worker initializer did not run")
+    plans, options, prior = _worker_state
+    index, key, sequence = task
+    return _clean_one(index, sequence, plans[key], options, prior)
+
+
+def _pool_context():
+    """Prefer ``fork`` (fast, shares the warm interpreter); fall back to
+    the platform default where fork is unavailable (e.g. Windows/macOS
+    spawn) — the worker entry points are module-level, so both work."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+# ----------------------------------------------------------------------
+# the public runtime
+# ----------------------------------------------------------------------
+class BatchCleaner:
+    """A configured multi-object cleaning runtime.
+
+    ``constraints`` is one :class:`ConstraintSet` shared by every object,
+    or a per-object sequence of constraint sets (precomputation is shared
+    per *distinct* set either way).  ``workers`` is the process count —
+    ``1`` (the default) cleans in process, ``None`` uses the machine's CPU
+    count.  ``chunk_size`` is how many objects each worker claims at a
+    time (default: batch size / (4 x workers), floored at 1 — small enough
+    to balance load, big enough to amortise task pickling).  ``prior`` is
+    required when raw :class:`ReadingSequence` objects are submitted; it
+    is shipped to each worker once, and the readings -> l-sequence
+    interpretation happens in the workers too.
+    """
+
+    def __init__(self, constraints: Union[ConstraintSet,
+                                          Sequence[ConstraintSet]], *,
+                 options: CleaningOptions = CleaningOptions(),
+                 workers: Optional[int] = 1,
+                 chunk_size: Optional[int] = None,
+                 prior: Optional[object] = None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._constraints = constraints
+        self.options = options
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.prior = prior
+
+    def _tasks(self, sequences: Sequence[SequenceLike]
+               ) -> Tuple[List[_Task], Dict[int, ConstraintSet]]:
+        """Pair every sequence with its constraint-table key.
+
+        Distinct constraint sets are interned (``ConstraintSet.__eq__``
+        compares the stated constraints), so ten objects under two sets
+        yield a two-entry table and two shared plans per worker.
+        """
+        if isinstance(self._constraints, ConstraintSet):
+            per_object: Sequence[ConstraintSet] = \
+                [self._constraints] * len(sequences)
+        else:
+            per_object = list(self._constraints)
+            if len(per_object) != len(sequences):
+                raise ValueError(
+                    f"{len(sequences)} sequences but {len(per_object)} "
+                    "constraint sets; pass one set, or one per object")
+        table: Dict[int, ConstraintSet] = {}
+        keys: Dict[ConstraintSet, int] = {}
+        tasks: List[_Task] = []
+        for index, (sequence, constraints) in enumerate(
+                zip(sequences, per_object)):
+            if isinstance(sequence, ReadingSequence) and self.prior is None:
+                raise ReadingSequenceError(
+                    f"object {index} is a raw ReadingSequence but the "
+                    "cleaner has no prior; pass prior=... to interpret it")
+            key = keys.get(constraints)
+            if key is None:
+                key = len(table)
+                keys[constraints] = key
+                table[key] = constraints
+            tasks.append((index, key, sequence))
+        return tasks, table
+
+    def clean(self, sequences: Sequence[SequenceLike]) -> BatchResult:
+        """Clean every object; outcomes return in input order."""
+        sequences = list(sequences)
+        started = time.perf_counter()
+        tasks, table = self._tasks(sequences)
+        workers = min(self.workers, max(1, len(tasks)))
+        chunk = self.chunk_size
+        if chunk is None:
+            chunk = max(1, len(tasks) // (workers * 4))
+        if workers == 1:
+            plans = {key: SharedCleaningPlan(constraints)
+                     for key, constraints in table.items()}
+            outcomes = [_clean_one(index, sequence, plans[key],
+                                   self.options, self.prior)
+                        for index, key, sequence in tasks]
+        else:
+            with ProcessPoolExecutor(
+                    max_workers=workers, mp_context=_pool_context(),
+                    initializer=_init_worker,
+                    initargs=(table, self.options, self.prior)) as pool:
+                outcomes = list(pool.map(_worker_clean, tasks,
+                                         chunksize=chunk))
+        return BatchResult(outcomes=tuple(outcomes),
+                           wall_seconds=time.perf_counter() - started,
+                           workers=workers, chunk_size=chunk)
+
+
+def clean_many(sequences: Sequence[SequenceLike],
+               constraints: Union[ConstraintSet, Sequence[ConstraintSet]], *,
+               options: CleaningOptions = CleaningOptions(),
+               workers: Optional[int] = 1,
+               chunk_size: Optional[int] = None,
+               prior: Optional[object] = None) -> BatchResult:
+    """Clean a collection of objects, optionally across worker processes.
+
+    The one-call form of :class:`BatchCleaner` — see its docstring for the
+    parameter semantics and the module docstring for the guarantees.
+    """
+    cleaner = BatchCleaner(constraints, options=options, workers=workers,
+                           chunk_size=chunk_size, prior=prior)
+    return cleaner.clean(sequences)

@@ -1,0 +1,112 @@
+"""Per-constraint-set precomputation shared across the objects of a batch.
+
+Algorithm 1 does two kinds of work that depend only on the constraint set
+(and the location support of a timestep), not on the individual object:
+
+* the rule-2 (DU) filtering of a level's candidate locations — the same
+  ``(source location, support)`` row is recomputed for every level with
+  that support, of every object;
+* the static part of the analyzer pre-check (rules C001-C004 of
+  :mod:`repro.analysis`), which inspects the constraints alone.
+
+:class:`SharedCleaningPlan` hoists both.  One plan serves every object
+cleaned under the same :class:`~repro.core.constraints.ConstraintSet`:
+``build_ct_graph(..., plan=plan)`` consults the plan's DU-row cache and
+lets the plan decide what the ``precheck`` option still has to do per
+object.  A plan never changes results — only where the bookkeeping lives —
+and is cheap to construct, so ``workers=1`` batches and per-process worker
+state both just build one per constraint set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.constraints import ConstraintSet
+from repro.core.lsequence import LSequence
+from repro.errors import ZeroMassError
+
+__all__ = ["SharedCleaningPlan"]
+
+
+class SharedCleaningPlan:
+    """Reusable cleaning state for one constraint set.
+
+    Not thread-safe by design (the caches are plain dicts); the batch
+    runtime gives every worker process its own plan.
+    """
+
+    def __init__(self, constraints: ConstraintSet) -> None:
+        self.constraints = constraints
+        self._du_rows: Dict[Tuple[str, Tuple[str, ...]], Tuple[str, ...]] = {}
+        self._static_checked = False
+
+    # ------------------------------------------------------------------
+    # DU-reachability rows
+    # ------------------------------------------------------------------
+    def du_row(self, location: str,
+               support: Tuple[str, ...]) -> Tuple[str, ...]:
+        """The sub-tuple of ``support`` directly reachable from ``location``.
+
+        Cached per ``(location, support)``: reader patterns repeat heavily
+        both along one l-sequence and across the objects of a batch, so
+        after warm-up the forward pass pays one dict lookup instead of a
+        ``forbids_step`` scan per level.
+        """
+        key = (location, support)
+        row = self._du_rows.get(key)
+        if row is None:
+            forbids = self.constraints.forbids_step
+            row = tuple(destination for destination in support
+                        if not forbids(location, destination))
+            self._du_rows[key] = row
+        return row
+
+    @property
+    def cached_rows(self) -> int:
+        """How many DU rows the plan has accumulated (observability)."""
+        return len(self._du_rows)
+
+    # ------------------------------------------------------------------
+    # run-once analyzer pre-check
+    # ------------------------------------------------------------------
+    def precheck(self, lsequence: LSequence, options) -> None:
+        """The batch variant of ``CleaningOptions.precheck``.
+
+        The constraints-only analysis (rules C001-C004) runs once per plan
+        — not once per object — and surfaces its ERROR diagnostics as
+        warnings exactly like the sequential path.  Per object, only the
+        cheap boolean zero-mass forward pass (the rule C005 core) runs,
+        and only in ``"error"`` mode, where it raises
+        :class:`~repro.errors.ZeroMassError` up front.  This is the one
+        deliberate semantic difference from per-object cleaning: the
+        readings-dependent *warnings* (C005/C006 in ``"warn"`` mode) are
+        skipped, because emitting them would cost a full analyzer run per
+        object — the very work the plan exists to share.
+        """
+        if options.precheck == "off":
+            return
+        if not self._static_checked:
+            import warnings
+
+            from repro.analysis import analyze
+
+            report = analyze(self.constraints)
+            for diagnostic in report.errors:
+                warnings.warn(
+                    f"pre-check {diagnostic.code}: {diagnostic.message}",
+                    stacklevel=3)
+            self._static_checked = True
+        if options.precheck == "error":
+            from repro.analysis import predict_zero_mass
+
+            if predict_zero_mass(
+                    lsequence, self.constraints,
+                    strict_truncation=options.strict_truncation):
+                raise ZeroMassError(
+                    "pre-check C005: no interpretation of the readings "
+                    "satisfies the constraints")
+
+    def __repr__(self) -> str:
+        return (f"SharedCleaningPlan({self.constraints!r}, "
+                f"cached_rows={self.cached_rows})")

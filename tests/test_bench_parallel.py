@@ -1,0 +1,53 @@
+"""Smoke test for benchmarks/bench_parallel.py: the bench must run on a
+tiny workload and emit a well-formed BENCH_parallel.json (schema only — no
+performance assertion; speedup is hardware)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH = REPO_ROOT / "benchmarks" / "bench_parallel.py"
+
+
+def _bench_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    return env
+
+
+def test_smoke_emits_well_formed_json(tmp_path):
+    out = tmp_path / "BENCH_parallel.json"
+    run = subprocess.run(
+        [sys.executable, str(BENCH), "--objects", "3", "--duration", "40",
+         "--workers", "2", "--out", str(out)],
+        capture_output=True, text=True, env=_bench_env(), timeout=300)
+    assert run.returncode == 0, run.stderr
+
+    payload = json.loads(out.read_text())
+    assert payload["benchmark"] == "bench_parallel"
+    assert payload["workload"]["objects"] == 3
+    assert payload["identical_output"] is True
+    assert payload["failures"] == 0
+    assert payload["sequential"]["wall_seconds"] > 0.0
+    assert payload["parallel"]["workers"] == 2
+    assert len(payload["per_object"]) == 3
+
+    # The bench's own --check mode agrees.
+    check = subprocess.run(
+        [sys.executable, str(BENCH), "--check", str(out)],
+        capture_output=True, text=True, env=_bench_env(), timeout=60)
+    assert check.returncode == 0, check.stderr
+
+
+def test_check_rejects_malformed_payload(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"benchmark": "bench_parallel"}))
+    check = subprocess.run(
+        [sys.executable, str(BENCH), "--check", str(bad)],
+        capture_output=True, text=True, env=_bench_env(), timeout=60)
+    assert check.returncode == 1
+    assert "SCHEMA:" in check.stderr

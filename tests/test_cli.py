@@ -34,6 +34,27 @@ class TestCommands:
         assert "ct-graph" in out
         assert "P(ground truth)" in out
 
+    def test_clean_many(self, capsys, tmp_path):
+        out = tmp_path / "batch.json"
+        code = main(["clean-many", "--dataset", "syn1", "--scale", "tiny",
+                     "--constraints", "DU", "--workers", "2", "--limit", "3",
+                     "--json", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "objects: 3" in text
+        assert "wall-clock" in text
+        import json
+        payload = json.loads(out.read_text())
+        assert payload["objects"] == 3
+        assert payload["cleaned"] == 3
+        assert len(payload["outcomes"]) == 3
+
+    def test_clean_many_in_process(self, capsys):
+        code = main(["clean-many", "--dataset", "syn1", "--scale", "tiny",
+                     "--constraints", "DU", "--workers", "1", "--limit", "2"])
+        assert code == 0
+        assert "cleaned: 2" in capsys.readouterr().out
+
     def test_clean_bad_index(self):
         with pytest.raises(SystemExit):
             main(["clean", "--dataset", "syn1", "--scale", "tiny",

@@ -1,13 +1,16 @@
 """Tests for the CTGraph structure and its query primitives."""
 
 import math
+import pickle
+import subprocess
+import sys
 
 import pytest
 
 from repro.core.algorithm import build_ct_graph
 from repro.core.constraints import ConstraintSet, Unreachable
 from repro.core.lsequence import LSequence
-from repro.errors import QueryError
+from repro.errors import GraphInvariantError, QueryError
 
 
 @pytest.fixture
@@ -50,6 +53,16 @@ class TestStructure:
         node_b = source.successor_for("B")
         assert node_b is not None and node_b.location == "B"
         assert source.successor_for("Z") is None
+
+    def test_successor_index_tracks_edge_replacement(self, diamond_graph):
+        (source,) = diamond_graph.sources
+        node_b = source.successor_for("B")
+        assert source.successor_for("C") is not None
+        # Rebinding the edges dict (what the backward pass does) must
+        # invalidate the lazy per-location index.
+        source.edges = {node_b: 1.0}
+        assert source.successor_for("C") is None
+        assert source.successor_for("B") is node_b
 
     def test_repr_mentions_shape(self, diamond_graph):
         assert "duration=3" in repr(diamond_graph)
@@ -99,8 +112,85 @@ class TestValidateAndSize:
     def test_validate_rejects_broken_source_distribution(self, diamond_graph):
         (source,) = diamond_graph.sources
         diamond_graph._source_probabilities[source] = 0.5
+        with pytest.raises(GraphInvariantError, match="sum to 0.5"):
+            diamond_graph.validate()
+        # The historical contract: assertion-catching callers still work.
         with pytest.raises(AssertionError):
             diamond_graph.validate()
+
+    def test_validate_rejects_broken_edge_distribution(self, diamond_graph):
+        (source,) = diamond_graph.sources
+        child = next(iter(source.edges))
+        source.edges[child] += 0.5
+        with pytest.raises(GraphInvariantError, match="outgoing"):
+            diamond_graph.validate()
+
+    def test_validate_rejects_orphaned_node(self, diamond_graph):
+        node = diamond_graph.level(1)[0]
+        node.parents.clear()
+        with pytest.raises(GraphInvariantError, match="unreachable"):
+            diamond_graph.validate()
+
+    def test_validate_survives_assert_stripping(self):
+        # Regression for the `python -O` hole: the invariant checks must be
+        # real raises, not asserts, so they still fire under PYTHONOPTIMIZE.
+        script = (
+            "from repro.core.algorithm import build_ct_graph\n"
+            "from repro.core.constraints import ConstraintSet\n"
+            "from repro.core.lsequence import LSequence\n"
+            "from repro.errors import GraphInvariantError\n"
+            "assert True is False  # proves -O stripped asserts\n"
+            "ls = LSequence([{'A': 1.0}, {'B': 0.5, 'C': 0.5}, {'D': 1.0}])\n"
+            "graph = build_ct_graph(ls, ConstraintSet())\n"
+            "(source,) = graph.sources\n"
+            "graph._source_probabilities[source] = 0.25\n"
+            "try:\n"
+            "    graph.validate()\n"
+            "except GraphInvariantError:\n"
+            "    print('RAISED')\n"
+        )
+        import os
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run([sys.executable, "-O", "-c", script],
+                              capture_output=True, text=True, env=env)
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "RAISED"
+
+    def test_stats_declared_on_every_graph(self, diamond_graph):
+        # Algorithm output carries its counters...
+        assert diamond_graph.stats is not None
+        assert diamond_graph.stats.nodes_created == 4
+        # ...and hand-built graphs have the attribute too (None), instead
+        # of raising AttributeError.
+        bare = type(diamond_graph)([[], []], {})
+        assert bare.stats is None
+
+    def test_pickle_round_trip_preserves_probabilities(self):
+        ls = LSequence([{"A": 0.5, "B": 0.5}, {"A": 0.3, "C": 0.7},
+                        {"B": 1.0}, {"A": 0.4, "B": 0.6}])
+        graph = build_ct_graph(ls, ConstraintSet([Unreachable("A", "A")]))
+        clone = pickle.loads(pickle.dumps(graph))
+        assert list(clone.paths()) == list(graph.paths())
+        assert clone.stats == graph.stats
+        clone.validate()
+
+    def test_pickle_handles_long_graphs(self):
+        # Default recursive pickling would exceed the recursion limit here;
+        # the flat __getstate__ must not.
+        duration = 1200
+        ls = LSequence([{"A": 0.5, "B": 0.5}] * duration)
+        graph = build_ct_graph(ls, ConstraintSet())
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone.num_nodes == graph.num_nodes
+        assert clone.num_edges == graph.num_edges
+        assert clone.location_marginal(duration // 2) \
+            == graph.location_marginal(duration // 2)
 
     def test_size_estimate_positive_and_monotone(self):
         small = build_ct_graph(

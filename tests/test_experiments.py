@@ -7,6 +7,7 @@ from repro.experiments.harness import (
     CONSTRAINT_CONFIGS,
     RAW_CONFIG,
     clean_trajectory,
+    run_batch,
     run_cleaning_experiment,
     run_query_time_experiment,
     run_stay_accuracy_experiment,
@@ -104,6 +105,29 @@ class TestCleaningExperiment:
         text = cleaning_table(measurements)
         assert "clean_ms" in text
         assert "CTG(DU)" in text
+
+
+class TestBatchExperiment:
+    def test_batch_covers_grid_and_matches_sequential(self, tiny_dataset):
+        batched = run_batch(tiny_dataset, configs=FAST_CONFIGS)
+        sequential = run_cleaning_experiment(tiny_dataset,
+                                             configs=FAST_CONFIGS)
+        assert len(batched) == len(sequential)
+        for b, s in zip(batched, sequential):
+            assert (b.config, b.duration) == (s.config, s.duration)
+            assert b.trajectories == s.trajectories
+            assert b.failures == 0
+            assert b.wall_seconds > 0
+            # Same graphs, so the structural means agree exactly.
+            assert b.mean_nodes == s.mean_nodes
+            assert b.mean_edges == s.mean_edges
+
+    def test_batch_parallel_workers(self, tiny_dataset):
+        first = tiny_dataset.durations[0]
+        measurements = run_batch(tiny_dataset, configs=FAST_CONFIGS,
+                                 durations=[first], workers=2)
+        assert {m.duration for m in measurements} == {first}
+        assert all(m.workers == 2 for m in measurements)
 
 
 class TestQueryTimeExperiment:

@@ -1,0 +1,217 @@
+"""Tests for the batch runtime (repro.runtime): equality with sequential
+cleaning across worker counts, failure isolation, ordering, shared plans."""
+
+import pytest
+
+from repro.core.algorithm import CleaningOptions, build_ct_graph
+from repro.core.constraints import (
+    ConstraintSet,
+    Latency,
+    TravelingTime,
+    Unreachable,
+)
+from repro.core.lsequence import LSequence, ReadingSequence
+from repro.errors import ReadingSequenceError, ZeroMassError
+from repro.runtime import BatchCleaner, SharedCleaningPlan, clean_many
+
+CONSTRAINTS = ConstraintSet([
+    Unreachable("A", "C"), Unreachable("C", "A"),
+    Latency("B", 3),
+    TravelingTime("A", "D", 4), TravelingTime("D", "A", 4),
+])
+
+_PHASES = (
+    {"A": 0.4, "B": 0.4, "C": 0.2},
+    {"B": 0.6, "D": 0.4},
+    {"B": 0.5, "C": 0.3, "D": 0.2},
+    {"A": 0.5, "B": 0.5},
+)
+
+
+def make_lsequence(duration, offset=0):
+    return LSequence([_PHASES[(tau + offset) % len(_PHASES)]
+                      for tau in range(duration)])
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Eight small, diverse objects (every phase offset, two durations)."""
+    return [make_lsequence(duration, offset)
+            for duration in (6, 9) for offset in range(4)]
+
+
+class TestParallelEqualsSequential:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_paths_probability_identical(self, workload, workers):
+        sequential = [build_ct_graph(ls, CONSTRAINTS) for ls in workload]
+        result = clean_many(workload, CONSTRAINTS, workers=workers)
+        assert len(result) == len(workload)
+        for expected, outcome in zip(sequential, result):
+            assert outcome.ok
+            # Bit-exact, path for path: same trajectories, same conditioned
+            # probabilities, same enumeration order.
+            assert list(outcome.graph.paths()) == list(expected.paths())
+            outcome.graph.validate()
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_stats_match_sequential(self, workload, workers):
+        sequential = [build_ct_graph(ls, CONSTRAINTS) for ls in workload]
+        result = clean_many(workload, CONSTRAINTS, workers=workers)
+        for expected, outcome in zip(sequential, result):
+            assert outcome.stats == expected.stats
+        aggregate = result.aggregate_stats()
+        assert aggregate.nodes_created == sum(
+            g.stats.nodes_created for g in sequential)
+        assert aggregate.edges_kept == sum(
+            g.stats.edges_kept for g in sequential)
+
+    def test_chunk_size_does_not_change_results(self, workload):
+        baseline = clean_many(workload, CONSTRAINTS, workers=1)
+        chunked = clean_many(workload, CONSTRAINTS, workers=2, chunk_size=3)
+        assert chunked.chunk_size == 3
+        for left, right in zip(baseline, chunked):
+            assert list(left.graph.paths()) == list(right.graph.paths())
+
+
+class TestFailureIsolation:
+    def test_zero_mass_object_does_not_poison_batch(self, workload):
+        # A -> C is unreachable, so this object has zero valid mass.
+        poison = LSequence([{"A": 1.0}, {"C": 1.0}])
+        sequences = [workload[0], poison, workload[1]]
+        for workers in (1, 2):
+            result = clean_many(sequences, CONSTRAINTS, workers=workers)
+            assert [o.ok for o in result] == [True, False, True]
+            failed = result[1]
+            assert failed.graph is None and failed.stats is None
+            assert failed.error_type == "ZeroMassError"
+            assert "valid prior mass" in failed.error
+            assert result.cleaned == 2
+            assert [o.index for o in result.failures] == [1]
+
+    def test_precheck_error_mode_fails_per_object(self, workload):
+        poison = LSequence([{"A": 1.0}, {"C": 1.0}])
+        result = clean_many([poison, workload[0]], CONSTRAINTS,
+                            options=CleaningOptions(precheck="error"),
+                            workers=1)
+        assert not result[0].ok
+        assert result[0].error_type == "ZeroMassError"
+        assert result[1].ok
+
+    def test_programming_errors_still_propagate(self, workload):
+        class Exploding:
+            duration = 3
+
+            def candidates(self, tau):
+                raise RuntimeError("boom")
+
+            def support(self, tau):
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            clean_many([Exploding()], CONSTRAINTS, workers=1)
+
+
+class TestOrdering:
+    def test_results_follow_input_order(self):
+        durations = [5, 11, 3, 8, 6, 4, 9, 7]
+        sequences = [make_lsequence(d, i) for i, d in enumerate(durations)]
+        result = clean_many(sequences, CONSTRAINTS, workers=2, chunk_size=1)
+        assert [o.index for o in result] == list(range(len(durations)))
+        assert [o.graph.duration for o in result] == durations
+
+
+class TestConstraintGrouping:
+    def test_per_object_constraint_sets(self, workload):
+        loose = ConstraintSet([Unreachable("A", "C")])
+        per_object = [CONSTRAINTS, loose, CONSTRAINTS, loose]
+        sequences = workload[:4]
+        result = clean_many(sequences, per_object, workers=2)
+        for sequence, constraints, outcome in zip(sequences, per_object,
+                                                  result):
+            expected = build_ct_graph(sequence, constraints)
+            assert list(outcome.graph.paths()) == list(expected.paths())
+
+    def test_mismatched_lengths_rejected(self, workload):
+        with pytest.raises(ValueError):
+            clean_many(workload[:3], [CONSTRAINTS, CONSTRAINTS], workers=1)
+
+
+class TestReadingsPath:
+    def test_raw_readings_are_interpreted_in_workers(self):
+        prior = TablePrior()
+        readings = [ReadingSequence.from_reader_sets(sets) for sets in (
+            [{"rA"}, {"rB"}, {"rB"}, {"rB"}],
+            [{"rB"}, {"rB"}, {"rB"}, {"rD"}],
+        )]
+        constraints = ConstraintSet([Latency("B", 2)])
+        result = clean_many(readings, constraints, workers=2, prior=prior)
+        for raw, outcome in zip(readings, result):
+            expected = build_ct_graph(
+                LSequence.from_readings(raw, prior), constraints)
+            assert list(outcome.graph.paths()) == list(expected.paths())
+
+    def test_readings_without_prior_rejected(self):
+        readings = ReadingSequence.from_reader_sets([{"rA"}, {"rB"}])
+        with pytest.raises(ReadingSequenceError):
+            clean_many([readings], CONSTRAINTS, workers=1)
+
+
+class TestSharedPlan:
+    def test_du_rows_are_cached_and_correct(self):
+        plan = SharedCleaningPlan(CONSTRAINTS)
+        support = ("A", "B", "C", "D")
+        assert plan.du_row("A", support) == ("A", "B", "D")
+        assert plan.du_row("B", support) == support
+        assert plan.cached_rows == 2
+        # Second query hits the cache (same object back).
+        assert plan.du_row("A", support) is plan.du_row("A", support)
+
+    def test_plan_gives_identical_graphs(self, workload):
+        plan = SharedCleaningPlan(CONSTRAINTS)
+        for lsequence in workload:
+            with_plan = build_ct_graph(lsequence, CONSTRAINTS, plan=plan)
+            without = build_ct_graph(lsequence, CONSTRAINTS)
+            assert list(with_plan.paths()) == list(without.paths())
+        assert plan.cached_rows > 0
+
+    def test_foreign_plan_rejected(self, workload):
+        plan = SharedCleaningPlan(ConstraintSet([Unreachable("X", "Y")]))
+        with pytest.raises(ReadingSequenceError):
+            build_ct_graph(workload[0], CONSTRAINTS, plan=plan)
+
+    def test_plan_precheck_error_raises_zero_mass(self):
+        plan = SharedCleaningPlan(CONSTRAINTS)
+        poison = LSequence([{"A": 1.0}, {"C": 1.0}])
+        with pytest.raises(ZeroMassError):
+            plan.precheck(poison, CleaningOptions(precheck="error"))
+        # "off" and "warn" never raise.
+        plan.precheck(poison, CleaningOptions(precheck="off"))
+        plan.precheck(poison, CleaningOptions(precheck="warn"))
+
+
+class TestValidation:
+    def test_bad_worker_counts_rejected(self):
+        with pytest.raises(ValueError):
+            BatchCleaner(CONSTRAINTS, workers=0)
+        with pytest.raises(ValueError):
+            BatchCleaner(CONSTRAINTS, chunk_size=0)
+
+    def test_empty_batch(self):
+        result = clean_many([], CONSTRAINTS, workers=4)
+        assert len(result) == 0
+        assert result.aggregate_stats().nodes_created == 0
+
+    def test_workers_capped_by_batch_size(self, workload):
+        result = clean_many(workload[:2], CONSTRAINTS, workers=16)
+        assert result.workers == 2
+
+
+class TablePrior:
+    """A tiny picklable prior: reader r<X> means location X or B."""
+
+    def distribution(self, readers):
+        (reader,) = readers
+        location = reader[1:]
+        if location == "B":
+            return {"B": 1.0}
+        return {location: 0.75, "B": 0.25}

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck check bench bench-paper bench-parallel report examples loc clean
+.PHONY: install test lint typecheck check bench bench-paper bench-parallel bench-engine report examples loc clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -41,6 +41,12 @@ bench-paper:
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel.py --out BENCH_parallel.json
 	$(PYTHON) benchmarks/bench_parallel.py --check BENCH_parallel.json
+
+# Reference vs compact single-object engine: bit-identity check plus the
+# cold/warm speedup sweep, BENCH_engine.json with the headline number.
+bench-engine:
+	$(PYTHON) benchmarks/bench_engine.py --out BENCH_engine.json
+	$(PYTHON) benchmarks/bench_engine.py --check BENCH_engine.json
 
 report:
 	$(PYTHON) -m repro.cli report --both --scale small --out evaluation_report.md

@@ -1,0 +1,259 @@
+"""Reference vs. compact cleaning engine: single-object speedup.
+
+The compact engine (:mod:`repro.core.engine`) must be *bit-identical* to
+the reference builder — this bench both asserts that (flat-form graph
+equality, stats counters included) and records how much faster it is on
+the long-duration periodic workloads of ``bench_scaling``:
+
+* **reference** — ``CleaningOptions(engine="reference")``, the printed
+  Algorithm 1 over :class:`~repro.core.ctgraph.CTNode` objects;
+* **compact (cold)** — ``engine="compact"`` with a fresh transition
+  cache per build, the single-object cost a CLI ``clean`` pays;
+* **compact (warm)** — ``engine="compact"`` through one shared
+  :class:`~repro.runtime.plan.SharedCleaningPlan`, the steady-state cost
+  a ``clean_many`` worker pays after the first object of a batch.
+
+Emits a machine-readable ``BENCH_engine.json`` so successive commits can
+be compared.  Usage::
+
+    python benchmarks/bench_engine.py                    # full sweep
+    python benchmarks/bench_engine.py --smoke            # CI-sized
+    python benchmarks/bench_engine.py --check BENCH_engine.json
+
+``--check`` validates an existing result file against the schema and
+exits non-zero on problems — that (and only that) is what CI asserts:
+the recorded speedups are hardware- and load-dependent numbers for
+humans to judge, not gates for containers to flake on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.algorithm import CleaningOptions, build_ct_graph
+from repro.core.constraints import (
+    ConstraintSet,
+    Latency,
+    TravelingTime,
+    Unreachable,
+)
+from repro.core.lsequence import LSequence
+from repro.runtime.plan import SharedCleaningPlan
+
+SCHEMA_VERSION = 1
+
+#: The ``bench_scaling`` workload: DU + LT + TT all bind, and the TT
+#: constraints keep the departure filter (and so the mask-widened
+#: transition keys) on the hot path.
+CONSTRAINTS = ConstraintSet([
+    Unreachable("A", "C"), Unreachable("C", "A"),
+    Latency("B", 3),
+    TravelingTime("A", "D", 4), TravelingTime("D", "A", 4),
+])
+
+_PHASES = (
+    {"A": 0.4, "B": 0.4, "C": 0.2},
+    {"B": 0.6, "D": 0.4},
+    {"B": 0.5, "C": 0.3, "D": 0.2},
+    {"A": 0.5, "B": 0.5},
+)
+
+DURATIONS = (400, 800, 1600)
+
+
+def make_instance(duration: int) -> LSequence:
+    """The periodic l-sequence ``bench_scaling`` sweeps."""
+    return LSequence([dict(_PHASES[tau % len(_PHASES)])
+                      for tau in range(duration)])
+
+
+def _flat(graph) -> Dict[str, object]:
+    """The graph's flat (pickle) form minus the stats/timing block."""
+    state = graph.__getstate__()
+    return {key: value for key, value in state.items() if key != "stats"}
+
+
+def _best_of(repeats: int, build) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        build()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def run(durations: Sequence[int], repeats: int) -> Dict[str, object]:
+    reference_options = CleaningOptions(engine="reference")
+    compact_options = CleaningOptions(engine="compact")
+    results: List[Dict[str, object]] = []
+    all_identical = True
+    for duration in durations:
+        lsequence = make_instance(duration)
+
+        reference_graph = build_ct_graph(lsequence, CONSTRAINTS,
+                                         reference_options)
+        compact_graph = build_ct_graph(lsequence, CONSTRAINTS,
+                                       compact_options)
+        identical = (_flat(reference_graph) == _flat(compact_graph)
+                     and reference_graph.stats == compact_graph.stats)
+        all_identical = all_identical and identical
+
+        reference_seconds = _best_of(
+            repeats, lambda: build_ct_graph(lsequence, CONSTRAINTS,
+                                            reference_options))
+        compact_seconds = _best_of(
+            repeats, lambda: build_ct_graph(lsequence, CONSTRAINTS,
+                                            compact_options))
+        plan = SharedCleaningPlan(CONSTRAINTS)
+        build_ct_graph(lsequence, CONSTRAINTS, compact_options, plan=plan)
+        warm_seconds = _best_of(
+            repeats, lambda: build_ct_graph(lsequence, CONSTRAINTS,
+                                            compact_options, plan=plan))
+
+        stats = compact_graph.stats
+        results.append({
+            "duration": duration,
+            "nodes": reference_graph.num_nodes,
+            "edges": reference_graph.num_edges,
+            "reference_seconds": reference_seconds,
+            "compact_seconds": compact_seconds,
+            "compact_warm_seconds": warm_seconds,
+            "speedup": reference_seconds / compact_seconds,
+            "warm_speedup": reference_seconds / warm_seconds,
+            "forward_seconds": stats.forward_seconds,
+            "backward_seconds": stats.backward_seconds,
+            "identical_output": identical,
+        })
+
+    headline = results[-1]
+    return {
+        "benchmark": "bench_engine",
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "cpu_count": os.cpu_count(),
+        "repeats": repeats,
+        "workload": {
+            "generator": "synthetic-phase4",
+            "durations": list(durations),
+            "constraints": [str(c) for c in CONSTRAINTS],
+        },
+        # The headline number: cold single-object speedup at the longest
+        # duration of the sweep (best-of-``repeats`` on both sides).
+        "speedup": headline["speedup"],
+        "warm_speedup": headline["warm_speedup"],
+        "identical_output": all_identical,
+        "results": results,
+    }
+
+
+def validate_payload(payload: Dict[str, object]) -> List[str]:
+    """Schema check of a ``BENCH_engine.json`` payload; [] when valid."""
+    problems: List[str] = []
+
+    def expect(condition: bool, message: str) -> None:
+        if not condition:
+            problems.append(message)
+
+    expect(payload.get("benchmark") == "bench_engine",
+           "benchmark name missing or wrong")
+    expect(payload.get("schema_version") == SCHEMA_VERSION,
+           f"schema_version must be {SCHEMA_VERSION}")
+    expect(isinstance(payload.get("cpu_count"), int),
+           "cpu_count must be an int")
+    expect(isinstance(payload.get("repeats"), int)
+           and payload["repeats"] >= 1, "repeats must be an int >= 1")
+    workload = payload.get("workload")
+    expect(isinstance(workload, dict)
+           and isinstance(workload.get("durations"), list)
+           and workload["durations"]
+           and isinstance(workload.get("constraints"), list),
+           "workload must describe durations/constraints")
+    for key in ("speedup", "warm_speedup"):
+        expect(isinstance(payload.get(key), float) and payload[key] > 0.0,
+               f"{key} must be a positive float")
+    expect(payload.get("identical_output") is True,
+           "identical_output must be true — the compact engine diverged "
+           "from the reference builder")
+    results = payload.get("results")
+    if isinstance(results, list) and results:
+        if isinstance(workload, dict):
+            expect(len(results) == len(workload.get("durations") or ()),
+                   "results length disagrees with workload.durations")
+        for entry in results:
+            if not (isinstance(entry, dict)
+                    and isinstance(entry.get("duration"), int)
+                    and entry["duration"] > 0
+                    and isinstance(entry.get("reference_seconds"), float)
+                    and entry["reference_seconds"] > 0.0
+                    and isinstance(entry.get("compact_seconds"), float)
+                    and entry["compact_seconds"] > 0.0
+                    and isinstance(entry.get("compact_warm_seconds"), float)
+                    and entry["compact_warm_seconds"] > 0.0
+                    and entry.get("identical_output") is True):
+                problems.append(f"malformed results entry: {entry!r}")
+                break
+    else:
+        problems.append("results must be a non-empty list")
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--durations", type=int, nargs="+",
+                        default=list(DURATIONS))
+    parser.add_argument("--repeats", type=int, default=7,
+                        help="best-of-N timing repeats per engine")
+    parser.add_argument("--out", default="BENCH_engine.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI workload (one 60-step object, "
+                             "2 repeats)")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate an existing result file and exit")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        with open(args.check) as handle:
+            payload = json.load(handle)
+        problems = validate_payload(payload)
+        for problem in problems:
+            print(f"SCHEMA: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{args.check}: well-formed (speedup "
+                  f"{payload['speedup']:.2f}x cold, "
+                  f"{payload['warm_speedup']:.2f}x warm)")
+        return 1 if problems else 0
+
+    if args.smoke:
+        args.durations, args.repeats = [60], 2
+
+    payload = run(args.durations, args.repeats)
+    problems = validate_payload(payload)
+    if problems:
+        for problem in problems:
+            print(f"SELF-CHECK: {problem}", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    for entry in payload["results"]:
+        print(f"duration {entry['duration']:>5}: "
+              f"reference {entry['reference_seconds'] * 1000:7.1f} ms  "
+              f"compact {entry['compact_seconds'] * 1000:7.1f} ms "
+              f"({entry['speedup']:.2f}x)  "
+              f"warm {entry['compact_warm_seconds'] * 1000:7.1f} ms "
+              f"({entry['warm_speedup']:.2f}x)")
+    print(f"headline: {payload['speedup']:.2f}x cold / "
+          f"{payload['warm_speedup']:.2f}x warm, identical output")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,11 +5,16 @@ of trajectories") against the naive approach's exponential blow-up.  This
 bench sweeps durations on a fixed synthetic l-sequence with a constant
 per-step candidate structure, so node counts per level are bounded and the
 ct-graph cost should grow ~linearly.
+
+Besides the printed table, the sweep lands in ``results/bench_scaling.json``
+so successive commits can diff the numbers without scraping pytest output.
 """
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
@@ -75,6 +80,22 @@ def test_scaling_is_subquadratic(benchmark, capsys):
         print()
         print("=== Scaling: ct-graph construction vs duration ===")
         print(format_table(["duration", "nodes", "ms"], rendered))
+
+    out_dir = Path(__file__).resolve().parent.parent / "results"
+    out_dir.mkdir(exist_ok=True)
+    out_path = out_dir / "bench_scaling.json"
+    with out_path.open("w") as handle:
+        json.dump({
+            "benchmark": "bench_scaling",
+            "created_unix": time.time(),
+            "constraints": [str(c) for c in CONSTRAINTS],
+            "sweep": [{"duration": duration, "nodes": nodes,
+                       "seconds": elapsed}
+                      for duration, nodes, elapsed in rows],
+        }, handle, indent=2)
+        handle.write("\n")
+    with capsys.disabled():
+        print(f"wrote {out_path}")
 
     # Nodes per level stay bounded -> node count grows ~linearly.
     first_duration, first_nodes, first_time = rows[0]

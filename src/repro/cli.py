@@ -19,7 +19,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.core.algorithm import build_ct_graph
+from repro.core.algorithm import ENGINES, CleaningOptions, build_ct_graph
 from repro.core.lsequence import LSequence
 from repro.experiments.harness import (
     CONSTRAINT_CONFIGS,
@@ -67,6 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated subset of DU,LT,TT")
     clean.add_argument("--index", type=int, default=0,
                        help="which trajectory of the dataset to clean")
+    clean.add_argument("--engine", choices=ENGINES, default="auto",
+                       help="cleaning engine: auto picks the compact one "
+                            "for long objects (both are bit-identical)")
+    clean.add_argument("--stats", action="store_true",
+                       help="also print the construction counters and "
+                            "per-phase timings")
 
     clean_many_cmd = sub.add_parser(
         "clean-many", help="clean a batch of trajectories, optionally in "
@@ -82,6 +88,8 @@ def build_parser() -> argparse.ArgumentParser:
                                      "auto)")
     clean_many_cmd.add_argument("--limit", type=int, default=None,
                                 help="clean only the first N trajectories")
+    clean_many_cmd.add_argument("--engine", choices=ENGINES, default="auto",
+                                help="cleaning engine used by the workers")
     clean_many_cmd.add_argument("--json", dest="json_out", default=None,
                                 help="also write a machine-readable summary "
                                      "to this path")
@@ -190,7 +198,11 @@ def _cleaned_graph(dataset, args):
     constraints = infer_constraints(dataset.building, MotilityProfile(),
                                     kinds=kinds, distances=dataset.distances)
     lsequence = LSequence.from_readings(trajectory.readings, dataset.prior)
-    return trajectory, lsequence, build_ct_graph(lsequence, constraints)
+    # Only clean / clean-many expose --engine; every other command that
+    # funnels through here cleans with the default (auto) selection.
+    options = CleaningOptions(engine=getattr(args, "engine", "auto"))
+    return trajectory, lsequence, build_ct_graph(lsequence, constraints,
+                                                 options)
 
 
 def _command_info(args: argparse.Namespace) -> int:
@@ -219,6 +231,14 @@ def _command_clean(args: argparse.Namespace) -> int:
     truth = tuple(trajectory.truth.locations)
     print(f"conditioned P(ground truth) = "
           f"{graph.trajectory_probability(truth):.3e}")
+    if args.stats and graph.stats is not None:
+        stats = graph.stats
+        print(f"stats: {stats.nodes_kept} nodes / {stats.edges_kept} edges "
+              f"kept (of {stats.nodes_created} / {stats.edges_created} "
+              "created)")
+        print(f"timings: forward {stats.forward_seconds:.4f} s, "
+              f"backward {stats.backward_seconds:.4f} s "
+              f"(engine: {args.engine})")
     return 0
 
 
@@ -237,6 +257,7 @@ def _command_clean_many(args: argparse.Namespace) -> int:
                                     kinds=kinds, distances=dataset.distances)
     # Raw readings go in; the workers interpret them through the prior.
     result = clean_many([t.readings for t in trajectories], constraints,
+                        options=CleaningOptions(engine=args.engine),
                         workers=args.workers, chunk_size=args.chunk_size,
                         prior=dataset.prior)
 

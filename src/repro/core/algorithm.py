@@ -48,7 +48,8 @@ paper claims.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.core.constraints import ConstraintSet
@@ -70,6 +71,24 @@ TRUNCATED_STAY_POLICIES = ("lenient", "strict")
 #: Pre-flight static-analysis modes (see ``repro.analysis``).
 PRECHECK_MODES = ("off", "warn", "error")
 
+#: The interchangeable Algorithm 1 implementations (see ``docs/perf.md``).
+ENGINES = ("auto", "reference", "compact")
+
+#: ``engine="auto"`` switches to the compact engine at this duration: below
+#: it the reference builder's lower fixed cost wins, above it the memoised
+#: transition rows dominate.  Both engines are bit-exact, so the threshold
+#: is purely a performance knob (calibrated by ``benchmarks/bench_engine``).
+AUTO_COMPACT_MIN_DURATION = 48
+
+
+def _resolve_engine(engine: str, duration: int) -> str:
+    """The concrete engine for a run: ``auto`` picks by duration."""
+    if engine == "auto":
+        if duration >= AUTO_COMPACT_MIN_DURATION:
+            return "compact"
+        return "reference"
+    return engine
+
 
 @dataclass(frozen=True)
 class CleaningOptions:
@@ -87,10 +106,19 @@ class CleaningOptions:
     valid prior mass is zero (rule C005) by raising
     :class:`~repro.errors.ZeroMassError` up front — same outcome as
     running Algorithm 1, minus the cost of the doomed run.
+
+    ``engine`` — which Algorithm 1 implementation runs: ``"reference"``
+    (the direct builder above), ``"compact"`` (the interned engine of
+    :mod:`repro.core.engine` — memoised transition rows, columnar backward
+    sweep), or ``"auto"`` (default: compact for long durations, reference
+    for short ones).  The engines are bit-exact with each other — same
+    graph, same probabilities, same stats counters — so the choice is
+    purely about speed; see ``docs/perf.md``.
     """
 
     truncated_stay_policy: str = "lenient"
     precheck: str = "off"
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.truncated_stay_policy not in TRUNCATED_STAY_POLICIES:
@@ -102,6 +130,10 @@ class CleaningOptions:
             raise ReadingSequenceError(
                 f"unknown precheck mode {self.precheck!r}; "
                 f"expected one of {PRECHECK_MODES}")
+        if self.engine not in ENGINES:
+            raise ReadingSequenceError(
+                f"unknown engine {self.engine!r}; "
+                f"expected one of {ENGINES}")
 
     @property
     def strict_truncation(self) -> bool:
@@ -116,6 +148,12 @@ class CleaningStats:
     nodes_removed: int = 0
     edges_created: int = 0
     edges_removed: int = 0
+    #: Wall-clock seconds of the forward expansion and of the backward
+    #: survival sweep (conditioning and materialisation included), filled
+    #: by both engines so wins are attributable per phase.  Excluded from
+    #: equality — two identical cleanings never time identically.
+    forward_seconds: float = field(default=0.0, compare=False)
+    backward_seconds: float = field(default=0.0, compare=False)
 
     @property
     def nodes_kept(self) -> int:
@@ -143,6 +181,13 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
     result — only where the bookkeeping lives.  The plan must be built for
     this very constraint set.
     """
+    if _resolve_engine(options.engine, lsequence.duration) == "compact":
+        # The compact engine owns the whole contract (plan validation,
+        # pre-check, stats); imported lazily to keep the module DAG simple.
+        from repro.core.engine import build_ct_graph_compact
+
+        return build_ct_graph_compact(lsequence, constraints, options,
+                                      plan=plan)
     if plan is not None:
         if plan.constraints != constraints:
             raise ReadingSequenceError(
@@ -153,6 +198,7 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
         _run_precheck(lsequence, constraints, options)
 
     stats = CleaningStats()
+    forward_started = time.perf_counter()
     duration = lsequence.duration
     last = duration - 1
 
@@ -181,7 +227,11 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
         frontier = levels[tau]
         next_level = levels[tau + 1]
         candidates = lsequence.candidates(tau + 1)
-        support = tuple(candidates) if plan is not None else ()
+        # The plan's row cache is keyed on the *sorted* support: the same
+        # location set listed in different orders across levels (or
+        # objects) must hit one row, so the key is canonicalised once per
+        # level and the row is a set filtered through ``candidates`` order.
+        support = tuple(sorted(candidates)) if plan is not None else ()
         filter_binding = options.strict_truncation and tau + 1 == last
         # Rule 2 (DU) is hoisted: the reachable candidates are shared by
         # every node at the same location of this level.  With a shared
@@ -193,9 +243,11 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
             allowed = reachable.get(location)
             if allowed is None:
                 if plan is not None:
-                    allowed = [(destination, candidates[destination])
-                               for destination in plan.du_row(location,
-                                                              support)]
+                    row = plan.du_row(location, support)
+                    allowed = [(destination, probability)
+                               for destination, probability
+                               in candidates.items()
+                               if destination in row]
                 else:
                     allowed = [(destination, probability)
                                for destination, probability
@@ -227,6 +279,8 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
     # ------------------------------------------------------------------
     # backward phase: survival sweep with per-level rescaling
     # ------------------------------------------------------------------
+    backward_started = time.perf_counter()
+    stats.forward_seconds = backward_started - forward_started
     survival: Dict[CTNode, float] = {node: 1.0 for node in levels[last].values()}
     for tau in range(last - 1, -1, -1):
         level = levels[tau]
@@ -290,6 +344,7 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
     for node in source_probabilities:
         source_probabilities[node] /= total
 
+    stats.backward_seconds = time.perf_counter() - backward_started
     return CTGraph([tuple(level.values()) for level in levels],
                    source_probabilities, stats=stats)
 

@@ -1,0 +1,604 @@
+"""The compact cleaning engine: Algorithm 1 over interned, columnar state.
+
+:func:`build_ct_graph` re-derives every successor state with
+``_unchecked_successor`` at every level — ``O(duration * S * L)`` calls,
+each rebuilding stay counters and ``TL`` tuples — even though reader
+patterns, and therefore frontier expansions, repeat heavily along a
+trajectory.  This module exploits that repetition without changing a
+single bit of the output:
+
+* **Interning** — locations and node states become small ints.  States are
+  stored in *relative* form ``(location, stay, ((age, location), ...))``
+  with ``age = tau - departure_time`` (see
+  :func:`repro.core.nodes.relative_departures`): two nodes at different
+  timesteps whose ``TL`` entries are equally old share one interned state.
+
+* **Memoised transitions** — Definition 3's rules 3–6 compare departure
+  times only through differences ``arrival - time``, which relative ages
+  express directly, so the full successor row of a state under an ordered
+  candidate support is a pure function of ``(state, support)`` — except
+  where the :class:`~repro.core.nodes.DepartureFilter` prunes ``TL``
+  entries by *absolute* support windows.  Those per-entry keep decisions
+  are folded into a bitmask (:func:`repro.core.nodes.departure_keep_mask`)
+  that widens the cache key: rows are keyed ``(state, support, mask)`` and
+  stay exact — the engine never approximates, it only caches more finely
+  where the filter makes transitions time-dependent.  The cache lives in
+  an :class:`EngineCache`, which a
+  :class:`~repro.runtime.plan.SharedCleaningPlan` carries across the
+  objects of a batch (rows depend on the constraint set, not the object).
+
+* **Columnar sweep** — the forward phase records each level's edges as
+  flat parallel arrays ``(parent index, child index, probability)`` in
+  parent-major order; the backward survival sweep then runs over arrays
+  instead of per-node dicts, and only the *surviving* nodes and edges are
+  materialised as :class:`~repro.core.ctgraph.CTNode` objects at the end.
+
+The result is **bit-exact** with the reference builder: same nodes in the
+same order, same edges in the same insertion order, and identical
+floating-point arithmetic (per-parent mass accumulated in edge order,
+``weight / mass`` conditioning before the per-level rescale, ``math.fsum``
+for the source total).  The property tests pin graphs *and* stats counters
+against :func:`~repro.core.algorithm.build_ct_graph` over random map
+plans; see ``docs/perf.md`` for the argument and the benchmark numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.algorithm import CleaningOptions, CleaningStats, _run_precheck
+from repro.core.constraints import ConstraintSet
+from repro.core.ctgraph import CTGraph, CTNode
+from repro.core.lsequence import LSequence
+from repro.core.nodes import _advance_stay, initial_stay
+from repro.errors import ReadingSequenceError, ZeroMassError
+
+__all__ = ["EngineCache", "build_ct_graph_compact"]
+
+#: An interned node state in relative form:
+#: ``(location id, stay, ((age, location id), ...))``.
+RelState = Tuple[int, Optional[int], Tuple[Tuple[int, int], ...]]
+
+#: A memoised successor row: per legal destination, its position in the
+#: ordered candidate support and the interned state of the successor.
+Row = Tuple[Tuple[int, int], ...]
+
+
+class EngineCache:
+    """Interning tables plus the memoised transition rows, per constraint set.
+
+    The cache is keyed content: rows depend on the constraint set and on
+    the interned ``(state, ordered support, departure-filter mask)`` triple
+    only, never on the individual l-sequence — all of the filter's
+    time-dependence is captured by the mask.  One cache therefore serves
+    every object cleaned under the same constraints;
+    :meth:`repro.runtime.plan.SharedCleaningPlan.engine_cache` hands one to
+    each object of a batch.  Not thread-safe (plain dicts), like the plan.
+    """
+
+    __slots__ = ("constraints", "_location_ids", "_location_names",
+                 "_state_ids", "_states", "_support_ids", "_supports",
+                 "_support_names", "_du_rows", "_rows", "_levels")
+
+    def __init__(self, constraints: ConstraintSet) -> None:
+        self.constraints = constraints
+        self._location_ids: Dict[str, int] = {}
+        self._location_names: List[str] = []
+        self._state_ids: Dict[RelState, int] = {}
+        self._states: List[RelState] = []
+        self._support_ids: Dict[Tuple[int, ...], int] = {}
+        self._supports: List[Tuple[int, ...]] = []
+        #: Fast path for the hot loop: ordered location-*name* tuples map
+        #: straight to their interned support id (skips per-level
+        #: name -> id translation on repeated reader patterns).
+        self._support_names: Dict[Tuple[str, ...], int] = {}
+        self._du_rows: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        self._rows: Dict[Tuple[int, int, int], Row] = {}
+        #: Whole-level memo: periodic workloads repeat entire frontiers,
+        #: so the expansion of a full ``(frontier, support[, masks])``
+        #: level — next sids, CSR offsets, child indices and support
+        #: positions — is cached as one unit.  Derived purely from
+        #: :attr:`_rows` entries, hence exact wherever they are.
+        self._levels: Dict[Tuple, Tuple] = {}
+
+    # ------------------------------------------------------------------
+    # interning
+    # ------------------------------------------------------------------
+    def location_id(self, name: str) -> int:
+        lid = self._location_ids.get(name)
+        if lid is None:
+            lid = len(self._location_names)
+            self._location_ids[name] = lid
+            self._location_names.append(name)
+        return lid
+
+    def state_id(self, state: RelState) -> int:
+        sid = self._state_ids.get(state)
+        if sid is None:
+            sid = len(self._states)
+            self._state_ids[state] = sid
+            self._states.append(state)
+        return sid
+
+    def support_id(self, support: Tuple[int, ...]) -> int:
+        """Intern an *ordered* tuple of candidate location ids.
+
+        Order matters: edge insertion order — and with it the float
+        accumulation order of the backward sweep — follows the
+        l-sequence's candidate order, so two supports with equal sets but
+        different orders are deliberately distinct keys.
+        """
+        uid = self._support_ids.get(support)
+        if uid is None:
+            uid = len(self._supports)
+            self._support_ids[support] = uid
+            self._supports.append(support)
+        return uid
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def cached_transitions(self) -> int:
+        """How many memoised ``(state, support, mask)`` rows exist."""
+        return len(self._rows)
+
+    @property
+    def interned_states(self) -> int:
+        return len(self._states)
+
+    def __repr__(self) -> str:
+        return (f"EngineCache(states={len(self._states)}, "
+                f"rows={len(self._rows)})")
+
+    # ------------------------------------------------------------------
+    # the memoised transition relation
+    # ------------------------------------------------------------------
+    def _compute_row(self, sid: int, support_id: int, mask: int) -> Row:
+        """Definition 3 rules 2–6 for one ``(state, support, mask)`` key.
+
+        The mirror of ``_unchecked_successor`` in relative terms: rule 5
+        reads ``arrival - time`` as ``age + 1``, and the rule-3/6 ``TL``
+        keep decisions come from ``mask`` (bit ``k`` = entry ``k``
+        survives; the bit past the last entry = record the new departure).
+        When no :class:`DepartureFilter` exists the constraint set has no
+        TT sources, every ``TL`` is empty and the mask is uniformly 0, so
+        the mask-driven reading is exact in both regimes.  States produced
+        here keep the canonical invariants of the reference builder: at
+        most one entry per location, never the state's own location,
+        sorted by ``(-age, location name)`` — the relative image of the
+        absolute ``(time, location)`` order.
+        """
+        constraints = self.constraints
+        names = self._location_names
+        location_id, stay, rel_deps = self._states[sid]
+        location = names[location_id]
+        support = self._supports[support_id]
+
+        du_key = (location_id, support_id)
+        positions = self._du_rows.get(du_key)
+        if positions is None:
+            forbids = constraints.forbids_step
+            positions = tuple(pos for pos, dest_id in enumerate(support)
+                              if not forbids(location, names[dest_id]))
+            self._du_rows[du_key] = positions
+
+        traveling_time = constraints.traveling_time
+        in_tt_sources = location in constraints.tt_sources
+        new_departure = bool(mask >> len(rel_deps) & 1)
+        row: List[Tuple[int, int]] = []
+        for pos in positions:
+            dest_id = support[pos]
+            if dest_id == location_id:
+                # Rule 3 — staying: bump the stay, age the departures.
+                kept = tuple((age + 1, dlid)
+                             for bit, (age, dlid) in enumerate(rel_deps)
+                             if mask >> bit & 1)
+                child = (location_id,
+                         _advance_stay(stay, location, constraints), kept)
+            else:
+                # Rule 4 — leaving before the latency bound is met.
+                if stay is not None:
+                    continue
+                # Rule 5 — traveling-time checks, including the implicit
+                # departure of this very move (arrival - tau == 1).
+                destination = names[dest_id]
+                direct = traveling_time(location, destination)
+                if direct is not None and direct > 1:
+                    continue
+                blocked = False
+                for age, dlid in rel_deps:
+                    steps = traveling_time(names[dlid], destination)
+                    if steps is not None and age + 1 < steps:
+                        blocked = True
+                        break
+                if blocked:
+                    continue
+                # Rule 6 — the successor's TL: surviving entries age by
+                # one, entries about the destination itself are dropped,
+                # and this move's own departure is recorded when it can
+                # still matter (the mask's extra bit).
+                entries = [(age + 1, dlid)
+                           for bit, (age, dlid) in enumerate(rel_deps)
+                           if dlid != dest_id and mask >> bit & 1]
+                if in_tt_sources and new_departure:
+                    entries.append((1, location_id))
+                if len(entries) > 1:
+                    entries.sort(key=lambda entry: (-entry[0],
+                                                    names[entry[1]]))
+                child = (dest_id, initial_stay(destination, constraints),
+                         tuple(entries))
+            row.append((pos, self.state_id(child)))
+        return tuple(row)
+
+
+def build_ct_graph_compact(lsequence: LSequence, constraints: ConstraintSet,
+                           options: CleaningOptions = CleaningOptions(), *,
+                           plan=None) -> CTGraph:
+    """Algorithm 1 through the compact engine (see the module docstring).
+
+    Drop-in for :func:`~repro.core.algorithm.build_ct_graph` — same
+    contract, same plan/pre-check semantics, bit-exact output.  Normally
+    reached via ``CleaningOptions(engine=...)``; calling it directly skips
+    the ``engine`` option entirely.
+    """
+    if plan is not None:
+        if plan.constraints != constraints:
+            raise ReadingSequenceError(
+                "the shared cleaning plan was built for a different "
+                "constraint set")
+        plan.precheck(lsequence, options)
+        cache = plan.engine_cache()
+        if cache.constraints != constraints:
+            raise ReadingSequenceError(
+                "the plan's engine cache was built for a different "
+                "constraint set")
+    else:
+        if options.precheck != "off":
+            _run_precheck(lsequence, constraints, options)
+        cache = EngineCache(constraints)
+
+    stats = CleaningStats()
+    forward_started = time.perf_counter()
+    duration = lsequence.duration
+    last = duration - 1
+    strict = options.strict_truncation
+
+    location_id = cache.location_id
+    states = cache._states
+    names = cache._location_names
+    rows = cache._rows
+
+    # ------------------------------------------------------------------
+    # initialisation: source states from the timestep-0 candidates
+    # ------------------------------------------------------------------
+    source_sids: List[int] = []
+    prior_probabilities: List[float] = []
+    for location in lsequence.support(0):
+        stay = initial_stay(location, constraints)
+        if strict and last == 0 and stay is not None:
+            continue
+        source_sids.append(cache.state_id((location_id(location), stay, ())))
+        prior_probabilities.append(lsequence.probability(0, location))
+        stats.nodes_created += 1
+    if not source_sids:
+        raise ZeroMassError(
+            "no source location satisfies the constraints at timestep 0")
+
+    # ------------------------------------------------------------------
+    # forward phase: columnar levels, memoised successor rows
+    # ------------------------------------------------------------------
+    # The DepartureFilter keep test ``arrival <= alive_until(t, l)`` is
+    # re-derived here as pure integer compares: the maxTravelingTime
+    # horizon becomes ``age <= maxtt(l) - 2`` (tau cancels), and the
+    # binding part becomes "some destination of ``l`` has prior support
+    # inside the constraint window", answered by per-destination
+    # next-support-at-or-after arrays.  ``alive_until`` caches by the
+    # *absolute* departure timestep, which never repeats across levels,
+    # so calling it from the hot loop would recompute every level.
+    tt_sources = constraints.tt_sources
+    use_filter = bool(tt_sources)
+    tt_source_ids = frozenset(location_id(name) for name in tt_sources)
+    horizon_age: Dict[int, int] = {}
+    bindings: Dict[int, Tuple[Tuple[List[int], int], ...]] = {}
+    if use_filter:
+        support_times: Dict[str, List[int]] = {}
+        for t in range(duration):
+            for name in lsequence.candidates(t):
+                support_times.setdefault(name, []).append(t)
+        by_source: Dict[str, List[Tuple[str, int]]] = {}
+        for (source, dest), steps in \
+                constraints.traveling_time_bounds.items():
+            by_source.setdefault(source, []).append((dest, steps))
+        # Sentinel for "no support left": must exceed every binding
+        # window ``departed_at + steps - 1`` (bounded by duration plus
+        # the largest TT bound), or an empty lookup would pass the test.
+        never = duration + max(
+            constraints.traveling_time_bounds.values(), default=0) + 2
+        for name in tt_sources:
+            lid = location_id(name)
+            horizon_age[lid] = constraints.max_traveling_time(name) - 2
+            pairs: List[Tuple[List[int], int]] = []
+            for dest, steps in by_source.get(name, ()):
+                times = support_times.get(dest)
+                if not times:
+                    continue
+                # next_support[t] = the earliest timestep >= t where
+                # ``dest`` has prior support (``never`` when none left).
+                next_support = [0] * (duration + 2)
+                current = never
+                j = len(times) - 1
+                for t in range(duration + 1, -1, -1):
+                    while j >= 0 and times[j] >= t:
+                        current = times[j]
+                        j -= 1
+                    next_support[t] = current
+                pairs.append((next_support, steps))
+            bindings[lid] = tuple(pairs)
+    level_sids: List[Tuple[int, ...]] = [tuple(source_sids)]
+    # The run's edges live in two flat arrays shared by every level; level
+    # ``tau`` owns the slice described by its (absolute) CSR offsets —
+    # ``level_offsets[tau][i]:level_offsets[tau][i+1]`` are the edges of
+    # the i-th frontier node, child indices *local to level tau + 1*, in
+    # the insertion order the reference builder would use.
+    all_children: List[int] = []
+    all_probabilities: List[float] = []
+    extend_children = all_children.extend
+    extend_probabilities = all_probabilities.extend
+    level_offsets: List[List[int]] = []
+    compute_row = cache._compute_row
+    row_get = rows.get
+    support_names = cache._support_names
+    level_rows = cache._levels
+    level_get = level_rows.get
+    frontier: Tuple[int, ...] = level_sids[0]
+    for tau in range(duration - 1):
+        candidates = lsequence.candidates(tau + 1)
+        names_key = tuple(candidates)
+        support_id = support_names.get(names_key)
+        if support_id is None:
+            support_id = cache.support_id(
+                tuple([location_id(name) for name in names_key]))
+            support_names[names_key] = support_id
+        probabilities = list(candidates.values())
+        filter_binding = strict and tau + 1 == last
+
+        # Periodic workloads repeat whole frontiers, so the expansion of
+        # the full level is memoised as one unit: with a departure filter
+        # the per-node masks join the key (they capture all of the
+        # filter's time-dependence); the strict last level bypasses the
+        # memo (its rows are post-filtered).
+        if use_filter:
+            # Entry (age, l) survives to arrival tau + 1 iff the horizon
+            # holds (age <= maxtt(l) - 2) and some destination of ``l``
+            # has support in [tau + 2, departed_at + steps - 1] — the
+            # exact ``arrival <= alive_until`` test, tau folded away.
+            next_index = tau + 2
+            window_base = tau - 1
+            masks: List[int] = []
+            append_mask = masks.append
+            for sid in frontier:
+                lid, _stay, rel_deps = states[sid]
+                mask = 0
+                bit = 1
+                for age, dlid in rel_deps:
+                    if age <= horizon_age[dlid]:
+                        cutoff = window_base - age
+                        for next_support, steps in bindings[dlid]:
+                            if next_support[next_index] <= cutoff + steps:
+                                mask |= bit
+                                break
+                    bit <<= 1
+                if lid in tt_source_ids and horizon_age[lid] >= 0:
+                    for next_support, steps in bindings[lid]:
+                        if next_support[next_index] <= window_base + steps:
+                            mask |= bit
+                            break
+                append_mask(mask)
+            level_key = (frontier, support_id, tuple(masks))
+        else:
+            masks = []
+            level_key = (frontier, support_id)
+        cached_level = None if filter_binding else level_get(level_key)
+
+        if cached_level is None:
+            next_sids: List[int] = []
+            next_index: Dict[int, int] = {}
+            next_get = next_index.get
+            relative_offsets: List[int] = [0]
+            children: List[int] = []
+            positions: List[int] = []
+            append_offset = relative_offsets.append
+            append_child = children.append
+            append_position = positions.append
+            for i, sid in enumerate(frontier):
+                key = (sid, support_id, masks[i] if masks else 0)
+                row = row_get(key)
+                if row is None:
+                    row = compute_row(sid, support_id, key[2])
+                    rows[key] = row
+                for pos, child_sid in row:
+                    if filter_binding and states[child_sid][1] is not None:
+                        continue
+                    child_index = next_get(child_sid)
+                    if child_index is None:
+                        child_index = len(next_sids)
+                        next_index[child_sid] = child_index
+                        next_sids.append(child_sid)
+                    append_child(child_index)
+                    append_position(pos)
+                append_offset(len(children))
+            cached_level = (tuple(next_sids), relative_offsets,
+                            children, positions)
+            if not filter_binding:
+                level_rows[level_key] = cached_level
+
+        next_frontier, relative_offsets, children, positions = cached_level
+        base = len(all_children)
+        extend_children(children)
+        extend_probabilities([probabilities[pos] for pos in positions])
+        level_offsets.append([base + offset for offset in relative_offsets])
+        stats.nodes_created += len(next_frontier)
+        stats.edges_created += len(children)
+        if not next_frontier:
+            raise ZeroMassError(
+                f"no trajectory can legally continue past timestep {tau}")
+        level_sids.append(next_frontier)
+        frontier = next_frontier
+
+    # ------------------------------------------------------------------
+    # backward phase: survival sweep over the flat edge arrays
+    # ------------------------------------------------------------------
+    backward_started = time.perf_counter()
+    stats.forward_seconds = backward_started - forward_started
+    survivals: List[List[float]] = [[] for _ in range(duration)]
+    survivals[last] = [1.0] * len(level_sids[last])
+    level_masses: List[List[float]] = [[] for _ in range(max(0, last))]
+    weights: List[float] = [0.0] * len(all_children)
+    nodes_removed = 0
+    edges_removed = 0
+    for tau in range(last - 1, -1, -1):
+        edge_offsets = level_offsets[tau]
+        child_survival = survivals[tau + 1]
+        count = len(level_sids[tau])
+        mass_row = [0.0] * count
+        survival_row = [0.0] * count
+        level_max = 0.0
+        removed = 0
+        start = edge_offsets[0]
+        if 0.0 not in child_survival:
+            # Fast path — every child is alive, so every edge survives
+            # and the per-parent mass is the plain sum of its weight
+            # slice.  ``sum`` adds left to right exactly like the
+            # reference's ``mass += weight`` loop (starting from 0 adds
+            # nothing to the first float), so this is bit-identical.
+            level_end = edge_offsets[count]
+            weights[start:level_end] = [
+                all_probabilities[e] * child_survival[all_children[e]]
+                for e in range(start, level_end)]
+            for i in range(count):
+                end = edge_offsets[i + 1]
+                mass = sum(weights[start:end])
+                if mass <= 0.0:
+                    edges_removed += end - start
+                    removed += 1
+                else:
+                    mass_row[i] = mass
+                    survival_row[i] = mass
+                    if mass > level_max:
+                        level_max = mass
+                start = end
+        else:
+            for i in range(count):
+                end = edge_offsets[i + 1]
+                mass = 0.0
+                alive_edges = 0
+                for e in range(start, end):
+                    survival = child_survival[all_children[e]]
+                    if survival > 0.0:
+                        # Per-parent mass accumulates in edge insertion
+                        # order — the float-sum order the reference
+                        # builder uses.
+                        weight = all_probabilities[e] * survival
+                        weights[e] = weight
+                        mass += weight
+                        alive_edges += 1
+                if mass <= 0.0:
+                    edges_removed += end - start
+                    removed += 1
+                else:
+                    edges_removed += end - start - alive_edges
+                    mass_row[i] = mass
+                    survival_row[i] = mass
+                    if mass > level_max:
+                        level_max = mass
+                start = end
+        nodes_removed += removed
+        if removed == count:
+            stats.nodes_removed = nodes_removed
+            stats.edges_removed = edges_removed
+            raise ZeroMassError(
+                "no trajectory compatible with the readings satisfies "
+                "the constraints")
+        # Rescale so the level's largest survival is 1 (underflow guard);
+        # conditioning below divides by the *unrescaled* mass, exactly as
+        # the reference does before its rescale.
+        if level_max > 0.0:
+            for i in range(count):
+                if survival_row[i] > 0.0:
+                    survival_row[i] /= level_max
+        survivals[tau] = survival_row
+        level_masses[tau] = mass_row
+    stats.nodes_removed = nodes_removed
+    stats.edges_removed = edges_removed
+
+    # ------------------------------------------------------------------
+    # materialisation: surviving nodes and edges, reference order
+    # ------------------------------------------------------------------
+    node_table: List[List[Optional[CTNode]]] = []
+    for tau in range(duration):
+        sids = level_sids[tau]
+        row_nodes: List[Optional[CTNode]] = [None] * len(sids)
+        # A node is dead iff its *pre-rescale* mass was <= 0 — the exact
+        # criterion the reference uses to pop it (the rescaled survival
+        # can in principle underflow to 0.0 on an alive node).
+        mass = level_masses[tau] if tau != last else None
+        for i, sid in enumerate(sids):
+            if mass is not None and mass[i] <= 0.0:
+                continue
+            lid, stay, rel_deps = states[sid]
+            if not rel_deps:
+                row_nodes[i] = CTNode(tau, names[lid], stay, ())
+            elif len(rel_deps) == 1:
+                age, dlid = rel_deps[0]
+                row_nodes[i] = CTNode(tau, names[lid], stay,
+                                      ((tau - age, names[dlid]),))
+            else:
+                row_nodes[i] = CTNode(
+                    tau, names[lid], stay,
+                    tuple([(tau - age, names[dlid])
+                           for age, dlid in rel_deps]))
+        node_table.append(row_nodes)
+    for tau in range(duration - 1):
+        edge_offsets = level_offsets[tau]
+        mass_row = level_masses[tau]
+        parent_nodes = node_table[tau]
+        child_nodes = node_table[tau + 1]
+        child_survival = survivals[tau + 1]
+        for i, parent in enumerate(parent_nodes):
+            if parent is None:
+                continue
+            mass = mass_row[i]
+            edges = parent.edges
+            for e in range(edge_offsets[i], edge_offsets[i + 1]):
+                child_index = all_children[e]
+                # An edge survives with its (alive) parent iff the child
+                # is alive — even when the conditioned weight underflows
+                # to 0.0.
+                if child_survival[child_index] > 0.0:
+                    child = child_nodes[child_index]
+                    edges[child] = weights[e] / mass
+                    child.parents.append(parent)
+
+    # ------------------------------------------------------------------
+    # source conditioning (with the survival damping — DESIGN.md §3)
+    # ------------------------------------------------------------------
+    source_probabilities: Dict[CTNode, float] = {}
+    survival_row = survivals[0]
+    for i, node in enumerate(node_table[0]):
+        if node is None:
+            continue
+        source_probabilities[node] = prior_probabilities[i] * survival_row[i]
+    total = math.fsum(source_probabilities.values())
+    if total <= 0.0:
+        raise ZeroMassError(
+            "the valid trajectories have zero total prior probability")
+    for node in source_probabilities:
+        source_probabilities[node] /= total
+
+    stats.backward_seconds = time.perf_counter() - backward_started
+    return CTGraph([tuple([node for node in row if node is not None])
+                    for row in node_table],
+                   source_probabilities, stats=stats)

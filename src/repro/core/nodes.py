@@ -40,14 +40,26 @@ from repro.core.constraints import ConstraintSet
 
 __all__ = [
     "NodeState",
+    "RelativeDepartures",
     "DepartureFilter",
     "initial_stay",
     "successor_state",
     "source_states",
+    "relative_departures",
+    "absolute_departures",
+    "departure_keep_mask",
 ]
 
 #: The TL component: ``((time, location), ...)`` sorted for canonical hashing.
 Departures = Tuple[Tuple[int, str], ...]
+
+#: The TL component rebased to *relative ages*: ``((age, location), ...)``
+#: with ``age = tau - time >= 0``, in the same entry order as the absolute
+#: tuple it was derived from.  Two nodes at different timesteps share one
+#: relative tuple exactly when their TL entries are the same number of
+#: timesteps old — the key property the compact engine's transition cache
+#: is built on (see :mod:`repro.core.engine`).
+RelativeDepartures = Tuple[Tuple[int, str], ...]
 
 #: The hashable node state used as a dict key during graph construction:
 #: ``(location, stay, departures)`` — ``tau`` is implicit in the level.
@@ -268,6 +280,58 @@ def successor_state(tau: int, state: NodeState, destination: str,
         return None
     return _unchecked_successor(tau, state, destination, constraints,
                                 departure_filter)
+
+
+def relative_departures(departures: Departures, tau: int) -> RelativeDepartures:
+    """``TL`` rebased to ages relative to ``tau``: ``(t, l) -> (tau - t, l)``.
+
+    Entry order is preserved, so the absolute canonical order (sorted by
+    ``(time, location)``) maps to the relative canonical order (sorted by
+    ``(-age, location)``) and :func:`absolute_departures` is an exact
+    inverse at the same ``tau``.  This is the key helper of the compact
+    engine's transition cache: rules 3, 5 and 6 of Definition 3 compare
+    departure times only through differences ``arrival - time``, which ages
+    express directly, making memoised successor rows reusable across
+    timesteps.
+    """
+    return tuple((tau - time, location) for time, location in departures)
+
+
+def absolute_departures(relative: RelativeDepartures, tau: int) -> Departures:
+    """The inverse of :func:`relative_departures` at node timestep ``tau``."""
+    return tuple((tau - age, location) for age, location in relative)
+
+
+def departure_keep_mask(relative: RelativeDepartures, location: str, tau: int,
+                        constraints: ConstraintSet,
+                        departure_filter: Optional[DepartureFilter]) -> int:
+    """The rule-3/6 ``TL`` keep decisions at ``tau`` as a bitmask.
+
+    Bit ``k`` is set when the ``k``-th entry of ``relative`` survives ageing
+    to ``arrival = tau + 1``; the bit after the last entry describes the
+    *implicit new departure* ``(tau, location)`` and is meaningful only when
+    ``location`` sources a TT constraint.  With a :class:`DepartureFilter`
+    these decisions depend on absolute time (the filter prunes by the
+    l-sequence's remaining support windows), so they cannot be derived from
+    relative ages alone — the compact engine widens its transition-cache
+    keys by this mask, keeping memoisation exact instead of approximating.
+    Without a filter the decisions are pure functions of the ages and the
+    mask is uniformly 0 (no widening needed).
+    """
+    if departure_filter is None:
+        return 0
+    arrival = tau + 1
+    alive_until = departure_filter.alive_until
+    mask = 0
+    bit = 1
+    for age, departed_loc in relative:
+        if arrival <= alive_until(tau - age, departed_loc):
+            mask |= bit
+        bit <<= 1
+    if location in constraints.tt_sources and \
+            arrival <= alive_until(tau, location):
+        mask |= bit
+    return mask
 
 
 def source_states(locations: Iterable[str],

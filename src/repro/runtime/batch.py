@@ -123,6 +123,8 @@ class BatchResult:
             total.nodes_removed += stats.nodes_removed
             total.edges_created += stats.edges_created
             total.edges_removed += stats.edges_removed
+            total.forward_seconds += stats.forward_seconds
+            total.backward_seconds += stats.backward_seconds
         return total
 
     def __repr__(self) -> str:

@@ -20,7 +20,7 @@ state both just build one per constraint set.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, FrozenSet, Tuple
 
 from repro.core.constraints import ConstraintSet
 from repro.core.lsequence import LSequence
@@ -38,29 +38,53 @@ class SharedCleaningPlan:
 
     def __init__(self, constraints: ConstraintSet) -> None:
         self.constraints = constraints
-        self._du_rows: Dict[Tuple[str, Tuple[str, ...]], Tuple[str, ...]] = {}
+        self._du_rows: Dict[Tuple[str, Tuple[str, ...]],
+                            FrozenSet[str]] = {}
+        self._engine_cache = None
         self._static_checked = False
 
     # ------------------------------------------------------------------
     # DU-reachability rows
     # ------------------------------------------------------------------
     def du_row(self, location: str,
-               support: Tuple[str, ...]) -> Tuple[str, ...]:
-        """The sub-tuple of ``support`` directly reachable from ``location``.
+               support: Tuple[str, ...]) -> FrozenSet[str]:
+        """The subset of ``support`` directly reachable from ``location``.
 
         Cached per ``(location, support)``: reader patterns repeat heavily
         both along one l-sequence and across the objects of a batch, so
         after warm-up the forward pass pays one dict lookup instead of a
-        ``forbids_step`` scan per level.
+        ``forbids_step`` scan per level.  Callers pass the support in
+        *canonical (sorted) order* — equal location sets listed in
+        different orders by different levels or objects then share one
+        row — and filter their own candidate order through the returned
+        set, which keeps edge insertion order (and with it the float
+        arithmetic) identical to the plan-less path.
         """
         key = (location, support)
         row = self._du_rows.get(key)
         if row is None:
             forbids = self.constraints.forbids_step
-            row = tuple(destination for destination in support
-                        if not forbids(location, destination))
+            row = frozenset(destination for destination in support
+                            if not forbids(location, destination))
             self._du_rows[key] = row
         return row
+
+    # ------------------------------------------------------------------
+    # the compact engine's transition cache
+    # ------------------------------------------------------------------
+    def engine_cache(self):
+        """The plan's :class:`repro.core.engine.EngineCache`, built lazily.
+
+        Transition rows depend on the constraint set only (the departure
+        filter's time-dependence is folded into the row keys), so one
+        cache legitimately serves every object cleaned under this plan —
+        ``clean_many`` workers warm it once per constraint set.
+        """
+        if self._engine_cache is None:
+            from repro.core.engine import EngineCache
+
+            self._engine_cache = EngineCache(self.constraints)
+        return self._engine_cache
 
     @property
     def cached_rows(self) -> int:

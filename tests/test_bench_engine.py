@@ -1,0 +1,71 @@
+"""Smoke test for benchmarks/bench_engine.py: the bench must run on a
+tiny workload, assert engine bit-identity, and emit a well-formed
+BENCH_engine.json (schema only — no performance assertion; speedup is
+hardware)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH = REPO_ROOT / "benchmarks" / "bench_engine.py"
+
+
+def _bench_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    return env
+
+
+def test_smoke_emits_well_formed_json(tmp_path):
+    out = tmp_path / "BENCH_engine.json"
+    run = subprocess.run(
+        [sys.executable, str(BENCH), "--durations", "40", "80",
+         "--repeats", "2", "--out", str(out)],
+        capture_output=True, text=True, env=_bench_env(), timeout=300)
+    assert run.returncode == 0, run.stderr
+
+    payload = json.loads(out.read_text())
+    assert payload["benchmark"] == "bench_engine"
+    assert payload["workload"]["durations"] == [40, 80]
+    assert payload["identical_output"] is True
+    assert payload["speedup"] > 0.0
+    assert payload["warm_speedup"] > 0.0
+    assert len(payload["results"]) == 2
+    for entry in payload["results"]:
+        assert entry["identical_output"] is True
+        assert entry["reference_seconds"] > 0.0
+        assert entry["compact_seconds"] > 0.0
+        assert entry["compact_warm_seconds"] > 0.0
+        assert entry["forward_seconds"] > 0.0
+        assert entry["backward_seconds"] > 0.0
+
+    # The bench's own --check mode agrees.
+    check = subprocess.run(
+        [sys.executable, str(BENCH), "--check", str(out)],
+        capture_output=True, text=True, env=_bench_env(), timeout=60)
+    assert check.returncode == 0, check.stderr
+
+
+def test_smoke_flag_runs_ci_sized_workload(tmp_path):
+    out = tmp_path / "BENCH_engine.json"
+    run = subprocess.run(
+        [sys.executable, str(BENCH), "--smoke", "--out", str(out)],
+        capture_output=True, text=True, env=_bench_env(), timeout=300)
+    assert run.returncode == 0, run.stderr
+    payload = json.loads(out.read_text())
+    assert payload["workload"]["durations"] == [60]
+    assert payload["repeats"] == 2
+
+
+def test_check_rejects_malformed_payload(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"benchmark": "bench_engine"}))
+    check = subprocess.run(
+        [sys.executable, str(BENCH), "--check", str(bad)],
+        capture_output=True, text=True, env=_bench_env(), timeout=60)
+    assert check.returncode == 1
+    assert "SCHEMA:" in check.stderr

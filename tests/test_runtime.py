@@ -160,11 +160,39 @@ class TestSharedPlan:
     def test_du_rows_are_cached_and_correct(self):
         plan = SharedCleaningPlan(CONSTRAINTS)
         support = ("A", "B", "C", "D")
-        assert plan.du_row("A", support) == ("A", "B", "D")
-        assert plan.du_row("B", support) == support
+        assert plan.du_row("A", support) == frozenset({"A", "B", "D"})
+        assert plan.du_row("B", support) == frozenset(support)
         assert plan.cached_rows == 2
         # Second query hits the cache (same object back).
         assert plan.du_row("A", support) is plan.du_row("A", support)
+
+    def test_du_rows_deduplicate_permuted_supports(self):
+        # Callers canonicalise (sort) the support before asking the plan;
+        # the same location set must map to ONE cached row no matter what
+        # candidate order the levels enumerate.  (Regression: the key was
+        # once built from dict insertion order, so permutations of one
+        # support piled up as distinct rows.)
+        plan = SharedCleaningPlan(CONSTRAINTS)
+        for permuted in (("B", "A", "D"), ("D", "B", "A"), ("A", "D", "B")):
+            support = tuple(sorted(permuted))
+            assert plan.du_row("A", support) == frozenset({"A", "B", "D"})
+        assert plan.cached_rows == 1
+
+    def test_build_ct_graph_canonicalises_plan_support(self):
+        # Two l-sequences whose levels list the same support in different
+        # candidate orders share the plan rows — and stay bit-identical
+        # to the plan-less build.
+        plan = SharedCleaningPlan(CONSTRAINTS)
+        forward = LSequence([{"A": 1.0}, {"A": 0.5, "B": 0.3, "D": 0.2}])
+        reversed_ = LSequence([{"A": 1.0}, {"D": 0.2, "B": 0.3, "A": 0.5}])
+        options = CleaningOptions(engine="reference")
+        for lsequence in (forward, reversed_):
+            with_plan = build_ct_graph(lsequence, CONSTRAINTS,
+                                       options, plan=plan)
+            without = build_ct_graph(lsequence, CONSTRAINTS, options)
+            assert with_plan.__getstate__()["edges"] == \
+                without.__getstate__()["edges"]
+        assert plan.cached_rows == 1
 
     def test_plan_gives_identical_graphs(self, workload):
         plan = SharedCleaningPlan(CONSTRAINTS)

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck check bench bench-paper bench-parallel bench-engine report examples loc clean
+.PHONY: install test lint typecheck check bench bench-paper bench-parallel bench-faults bench-engine report examples loc clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -41,6 +41,15 @@ bench-paper:
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel.py --out BENCH_parallel.json
 	$(PYTHON) benchmarks/bench_parallel.py --check BENCH_parallel.json
+
+# Fault-tolerance smoke: inject a worker-killing object and a
+# deadline-busting object, assert both are quarantined while the real
+# workload stays identical to sequential.  BENCH_faults.json is a
+# diagnostic artifact, not a tracked baseline.
+bench-faults:
+	$(PYTHON) benchmarks/bench_parallel.py --smoke --inject-crash \
+		--inject-timeout --out BENCH_faults.json
+	$(PYTHON) benchmarks/bench_parallel.py --check BENCH_faults.json
 
 # Reference vs compact single-object engine: bit-identity check plus the
 # cold/warm speedup sweep, BENCH_engine.json with the headline number.

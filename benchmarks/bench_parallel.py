@@ -11,12 +11,20 @@ Usage::
 
     python benchmarks/bench_parallel.py                      # full workload
     python benchmarks/bench_parallel.py --smoke              # CI-sized
+    python benchmarks/bench_parallel.py --smoke --inject-crash
     python benchmarks/bench_parallel.py --check BENCH_parallel.json
 
 ``--check`` validates an existing result file against the schema and exits
 non-zero on problems — that (and only that) is what CI asserts: speedup is
 hardware (a single-core container cannot beat sequential; the file records
 ``cpu_count`` so readers can judge the number).
+
+``--inject-crash`` / ``--inject-timeout`` append deliberately faulty
+objects (a worker-killing ``CrashingSequence``, a deadline-busting
+``SlowSequence``) to the *parallel* run only, and the payload additionally
+records that each fault was quarantined as exactly one failed outcome of
+the right ``error_type`` while every real object stayed bit-identical to
+the sequential run — the fault-tolerance contract of ``docs/runtime.md``.
 """
 
 from __future__ import annotations
@@ -36,8 +44,14 @@ from repro.core.constraints import (
 )
 from repro.core.lsequence import LSequence
 from repro.runtime import clean_many
+from repro.runtime.faults import CrashingSequence, SlowSequence
 
 SCHEMA_VERSION = 1
+
+#: Wall-clock budget per object when ``--inject-timeout`` runs, and how
+#: long the injected straggler sleeps (comfortably past the budget).
+INJECT_TIMEOUT_SECONDS = 2.0
+INJECT_SLEEP_SECONDS = 60.0
 
 #: The same constraint shape as ``bench_scaling`` — DU + LT + TT all bind.
 CONSTRAINTS = ConstraintSet([
@@ -77,18 +91,45 @@ def _graphs_identical(left, right) -> bool:
 
 
 def run(objects: int, duration: int, workers: int,
-        chunk_size: Optional[int]) -> Dict[str, object]:
+        chunk_size: Optional[int], inject_crash: bool = False,
+        inject_timeout: bool = False) -> Dict[str, object]:
     workload = make_workload(objects, duration)
 
     sequential = clean_many(workload, CONSTRAINTS, workers=1)
-    parallel = clean_many(workload, CONSTRAINTS, workers=workers,
-                          chunk_size=chunk_size)
 
+    # Fault injection: the faulty objects ride along in the parallel run
+    # only (a CrashingSequence in the sequential in-process loop would
+    # kill the benchmark itself — which is the point of the pool).
+    injected: List[Dict[str, object]] = []
+    parallel_workload: List[object] = list(workload)
+    timeout_seconds = None
+    if inject_crash:
+        injected.append({"expected_error_type": "WorkerCrashError"})
+        parallel_workload.append(CrashingSequence())
+    if inject_timeout:
+        timeout_seconds = INJECT_TIMEOUT_SECONDS
+        injected.append({"expected_error_type": "CleaningTimeoutError"})
+        parallel_workload.append(SlowSequence(
+            [{"A": 1.0}, {"B": 1.0}], seconds=INJECT_SLEEP_SECONDS))
+    if injected:
+        workers = max(2, workers)
+
+    parallel = clean_many(parallel_workload, CONSTRAINTS, workers=workers,
+                          chunk_size=chunk_size,
+                          timeout_seconds=timeout_seconds, max_retries=1)
+
+    # zip() stops at the sequential run, so injected tail objects are
+    # excluded from the identity check and the (real-object) failure count.
     identical = all(
         (not s.ok and not p.ok) or (s.ok and p.ok
                                     and _graphs_identical(s.graph, p.graph))
         for s, p in zip(sequential, parallel))
-    failures = len(sequential.failures) + len(parallel.failures)
+    failures = len(sequential.failures) + sum(
+        1 for s, p in zip(sequential, parallel) if not p.ok)
+    for expectation, outcome in zip(injected, list(parallel)[objects:]):
+        expectation["index"] = outcome.index
+        expectation["error_type"] = outcome.error_type
+        expectation["ok"] = outcome.ok
 
     per_object = []
     for s, p in zip(sequential, parallel):
@@ -122,11 +163,19 @@ def run(objects: int, duration: int, workers: int,
             "chunk_size": parallel.chunk_size,
             "wall_seconds": parallel.wall_seconds,
             "compute_seconds": parallel.compute_seconds,
+            "respawns": parallel.respawns,
         },
         "speedup": sequential.wall_seconds / parallel.wall_seconds,
         "identical_output": identical,
         "failures": failures,
         "per_object": per_object,
+        **({"fault_injection": {
+            "inject_crash": inject_crash,
+            "inject_timeout": inject_timeout,
+            "timeout_seconds": timeout_seconds,
+            "respawns": parallel.respawns,
+            "injected": injected,
+        }} if injected else {}),
     }
 
 
@@ -181,6 +230,23 @@ def validate_payload(payload: Dict[str, object]) -> List[str]:
                 break
     else:
         problems.append("per_object must be a list")
+    fault = payload.get("fault_injection")
+    if fault is not None:
+        if not isinstance(fault, dict):
+            problems.append("fault_injection must be an object")
+        else:
+            injected = fault.get("injected")
+            if not (isinstance(injected, list) and injected):
+                problems.append("fault_injection.injected must be a "
+                                "non-empty list")
+            else:
+                for entry in injected:
+                    expected = entry.get("expected_error_type")
+                    if entry.get("ok") is not False \
+                            or entry.get("error_type") != expected:
+                        problems.append(
+                            "injected fault was not quarantined as "
+                            f"{expected}: {entry!r}")
     return problems
 
 
@@ -196,6 +262,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="tiny CI workload (4 objects x 60 steps, "
                              "2 workers)")
+    parser.add_argument("--inject-crash", action="store_true",
+                        help="append a worker-killing object to the "
+                             "parallel run and record its quarantine")
+    parser.add_argument("--inject-timeout", action="store_true",
+                        help="append a deadline-busting object to the "
+                             "parallel run (enables --timeout machinery)")
     parser.add_argument("--check", metavar="FILE",
                         help="validate an existing result file and exit")
     args = parser.parse_args(argv)
@@ -215,7 +287,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.smoke:
         args.objects, args.duration, args.workers = 4, 60, 2
 
-    payload = run(args.objects, args.duration, args.workers, args.chunk_size)
+    payload = run(args.objects, args.duration, args.workers, args.chunk_size,
+                  inject_crash=args.inject_crash,
+                  inject_timeout=args.inject_timeout)
     problems = validate_payload(payload)
     if problems:
         for problem in problems:
@@ -231,6 +305,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"sequential {seq:.3f}s  parallel {par:.3f}s  "
           f"speedup {payload['speedup']:.2f}x "
           f"(cpu_count={payload['cpu_count']})")
+    fault = payload.get("fault_injection")
+    if fault:
+        quarantined = ", ".join(
+            f"#{entry['index']} {entry['error_type']}"
+            for entry in fault["injected"])
+        print(f"fault injection: {quarantined} quarantined "
+              f"(pool respawns: {fault['respawns']}); "
+              "surviving objects identical to sequential")
     print(f"wrote {args.out}")
     return 0
 

@@ -90,6 +90,18 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="clean only the first N trajectories")
     clean_many_cmd.add_argument("--engine", choices=ENGINES, default="auto",
                                 help="cleaning engine used by the workers")
+    clean_many_cmd.add_argument("--timeout", type=float, default=None,
+                                metavar="SECONDS",
+                                help="per-object wall-clock budget; an "
+                                     "object over budget fails with "
+                                     "CleaningTimeoutError while its "
+                                     "siblings are unaffected (implies "
+                                     "per-object tasks)")
+    clean_many_cmd.add_argument("--max-retries", type=int, default=1,
+                                help="how often an object whose worker "
+                                     "crashed is re-attempted before it "
+                                     "is quarantined as WorkerCrashError "
+                                     "(default: 1)")
     clean_many_cmd.add_argument("--json", dest="json_out", default=None,
                                 help="also write a machine-readable summary "
                                      "to this path")
@@ -259,7 +271,8 @@ def _command_clean_many(args: argparse.Namespace) -> int:
     result = clean_many([t.readings for t in trajectories], constraints,
                         options=CleaningOptions(engine=args.engine),
                         workers=args.workers, chunk_size=args.chunk_size,
-                        prior=dataset.prior)
+                        prior=dataset.prior, timeout_seconds=args.timeout,
+                        max_retries=args.max_retries)
 
     print(f"{'#':>4}  {'duration':>8}  {'nodes':>7}  {'edges':>8}  "
           f"{'seconds':>8}  status")
@@ -276,7 +289,9 @@ def _command_clean_many(args: argparse.Namespace) -> int:
     stats = result.aggregate_stats()
     print(f"\nobjects: {len(result)}  cleaned: {result.cleaned}  "
           f"failed: {len(result.failures)}")
-    print(f"workers: {result.workers}  chunk size: {result.chunk_size}")
+    print(f"workers: {result.workers}  chunk size: {result.chunk_size}"
+          + (f"  pool respawns: {result.respawns}" if result.respawns
+             else ""))
     print(f"wall-clock: {result.wall_seconds:.3f} s  "
           f"summed compute: {result.compute_seconds:.3f} s")
     print(f"aggregate: {stats.nodes_kept} nodes / {stats.edges_kept} edges "
@@ -291,6 +306,7 @@ def _command_clean_many(args: argparse.Namespace) -> int:
             "constraints": kinds,
             "workers": result.workers,
             "chunk_size": result.chunk_size,
+            "respawns": result.respawns,
             "objects": len(result),
             "cleaned": result.cleaned,
             "failed": len(result.failures),

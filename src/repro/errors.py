@@ -19,6 +19,9 @@ __all__ = [
     "GraphInvariantError",
     "PatternSyntaxError",
     "QueryError",
+    "BatchConfigurationError",
+    "WorkerCrashError",
+    "CleaningTimeoutError",
 ]
 
 
@@ -93,3 +96,35 @@ class PatternSyntaxError(ReproError):
 
 class QueryError(ReproError):
     """A query is invalid for the graph it is evaluated on (e.g. bad timestamp)."""
+
+
+class BatchConfigurationError(ReproError, ValueError):
+    """The batch runtime was configured inconsistently.
+
+    Covers bad ``workers``/``chunk_size``/``timeout_seconds``/``max_retries``
+    values and a sequences/constraint-sets length mismatch.  Also derives
+    from :class:`ValueError` so long-standing callers that caught the bare
+    ``ValueError`` these paths used to raise keep working.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A batch worker process died while cleaning an object.
+
+    Raised semantics differ from the other domain errors: the exception is
+    never seen inside a worker (the process is already gone — segfault,
+    OOM kill, ``os._exit`` in a native dependency).  The parent-side batch
+    runtime synthesises it after quarantining the object whose task kept
+    killing the pool, and records it as that object's
+    :class:`~repro.runtime.BatchOutcome`.
+    """
+
+
+class CleaningTimeoutError(ReproError):
+    """An object exceeded the batch runtime's per-object wall-clock budget.
+
+    Synthesised by the parent process when a worker's future misses its
+    ``timeout_seconds`` deadline (typically a pathological ct-graph blowup
+    past the C006 bound); the stuck worker is reclaimed and its surviving
+    batch-mates are re-driven unharmed.
+    """

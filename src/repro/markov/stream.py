@@ -76,7 +76,16 @@ class MarkovianStream:
         return len(self.transitions) + 1
 
     def marginal(self, tau: int) -> Dict[str, float]:
-        """``P(X_tau)`` obtained by pushing the initial distribution forward."""
+        """``P(X_tau)`` obtained by pushing the initial distribution forward.
+
+        Mass can *leak*: a state reachable at step ``t`` whose transition
+        row is absent (or empty) at step ``t`` carries its mass nowhere,
+        so the returned dict may sum to **less than 1** — the deficit is
+        exactly the leaked mass.  Streams exported by
+        :meth:`from_ct_graph` are leak-free (every positive-mass node has
+        outgoing edges), but hand-built or warehouse-loaded chains need
+        not be; callers wanting a proper distribution must renormalise.
+        """
         if not 0 <= tau < self.duration:
             raise QueryError(f"timestep {tau} outside [0, {self.duration})")
         current = dict(self.initial)
@@ -107,19 +116,40 @@ class MarkovianStream:
         return probability
 
     def sample(self, rng: Optional[np.random.Generator] = None) -> Tuple[str, ...]:
-        """One trajectory drawn from the chain."""
+        """One trajectory drawn from the chain.
+
+        Raises :class:`~repro.errors.QueryError` (naming the offending
+        timestep and state) when the walk reaches a state with no outgoing
+        transition row, or one whose row's mass sums to zero — the two
+        faces of leaked mass (see :meth:`marginal`), from which no next
+        step can be drawn.
+        """
         if rng is None:
             rng = np.random.default_rng()
 
-        def draw(distribution: Dict[str, float]) -> str:
+        def draw(distribution: Dict[str, float], tau: int,
+                 state: Optional[str]) -> str:
+            where = (f"state {state!r} at timestep {tau}"
+                     if state is not None
+                     else f"the initial distribution (timestep {tau})")
+            if not distribution:
+                raise QueryError(
+                    f"cannot sample: {where} has no outgoing transition "
+                    "row — the chain leaked its mass there")
             names = list(distribution)
-            probabilities = np.array([distribution[name] for name in names])
-            probabilities = probabilities / probabilities.sum()
-            return names[int(rng.choice(len(names), p=probabilities))]
+            probabilities = np.array([distribution[name] for name in names],
+                                     dtype=float)
+            total = probabilities.sum()
+            if not total > 0.0:
+                raise QueryError(
+                    f"cannot sample: the outgoing mass of {where} sums "
+                    f"to {total}, not a positive value")
+            return names[int(rng.choice(len(names), p=probabilities / total))]
 
-        steps = [draw(self.initial)]
-        for transition in self.transitions:
-            steps.append(draw(transition[steps[-1]]))
+        steps = [draw(self.initial, 0, None)]
+        for tau, transition in enumerate(self.transitions):
+            state = steps[-1]
+            steps.append(draw(transition.get(state, {}), tau, state))
         return tuple(steps)
 
     def __repr__(self) -> str:

@@ -15,32 +15,66 @@ Guarantees, all pinned by tests:
   path-for-path probability-identical to a sequential
   :func:`~repro.core.algorithm.build_ct_graph` run on the same object
   (workers only move where the arithmetic happens, never what it is);
-* **failure isolation** — a :class:`~repro.errors.ReproError` raised for
-  one object (typically :class:`~repro.errors.ZeroMassError`) becomes that
-  object's :class:`BatchOutcome`; the rest of the batch is unaffected.
-  Non-domain exceptions (genuine bugs) still propagate and abort;
+* **failure isolation, per object — never per batch**:
+
+  - a :class:`~repro.errors.ReproError` raised for one object (typically
+    :class:`~repro.errors.ZeroMassError`) becomes that object's
+    :class:`BatchOutcome`;
+  - a *worker crash* (segfault, OOM kill, ``os._exit``) breaks the pool —
+    the runtime respawns it, re-drives only the unfinished work, bisects
+    the suspect tasks to isolate the object that keeps killing workers,
+    and quarantines it as a ``WorkerCrashError`` outcome after
+    ``max_retries`` re-attempts, its chunk-mates retried and unharmed;
+  - with ``timeout_seconds`` set, an object whose worker misses the
+    per-object wall-clock deadline is recorded as a
+    ``CleaningTimeoutError`` outcome; the stuck worker is reclaimed and
+    sibling objects are re-driven, not killed.
+
+  Non-domain exceptions *raised inside a surviving worker* (genuine bugs)
+  still propagate and abort;
 * **shared precomputation** — each worker process keeps one
   :class:`~repro.runtime.plan.SharedCleaningPlan` per distinct constraint
   set: DU-reachability rows are cached across objects and the analyzer
-  pre-check's static rules run once per plan instead of once per object;
+  pre-check's static rules run once — in the parent, so pool respawns
+  never repeat them;
 * **debuggability** — ``workers=1`` runs the exact same code path in
   process (no executor, no pickling), so breakpoints and profilers work.
+  Requesting ``timeout_seconds`` opts out of the in-process path (a
+  deadline needs a supervisor outside the stuck process).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.algorithm import CleaningOptions, CleaningStats, build_ct_graph
 from repro.core.constraints import ConstraintSet
 from repro.core.ctgraph import CTGraph
 from repro.core.lsequence import LSequence, ReadingSequence
-from repro.errors import ReadingSequenceError, ReproError
+from repro.errors import (
+    BatchConfigurationError,
+    CleaningTimeoutError,
+    ReadingSequenceError,
+    ReproError,
+    WorkerCrashError,
+)
 from repro.runtime.plan import SharedCleaningPlan
 
 __all__ = ["BatchOutcome", "BatchResult", "BatchCleaner", "clean_many"]
@@ -57,7 +91,8 @@ class BatchOutcome:
     Exactly one of ``graph`` / ``error`` is set.  Failed outcomes carry the
     exception's class name and message rather than the exception object —
     stable under pickling and enough to triage (``rfid-ctg analyze``
-    locates the contradiction).
+    locates a contradiction; ``WorkerCrashError`` / ``CleaningTimeoutError``
+    name the runtime-level faults).
     """
 
     index: int
@@ -84,6 +119,9 @@ class BatchResult:
     wall_seconds: float
     workers: int
     chunk_size: int
+    #: How many times the worker pool had to be rebuilt (crashes and
+    #: timeout reclaims); 0 on a healthy run.
+    respawns: int = 0
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -113,18 +151,20 @@ class BatchResult:
         return sum(outcome.seconds for outcome in self.outcomes)
 
     def aggregate_stats(self) -> CleaningStats:
-        """Summed :class:`CleaningStats` over the successful outcomes."""
+        """Summed :class:`CleaningStats` over the successful outcomes.
+
+        Iterates ``dataclasses.fields`` so a counter added to
+        :class:`CleaningStats` later is aggregated automatically instead of
+        silently dropped (a test sums every field to pin this).
+        """
         total = CleaningStats()
         for outcome in self.outcomes:
             stats = outcome.stats
             if stats is None:
                 continue
-            total.nodes_created += stats.nodes_created
-            total.nodes_removed += stats.nodes_removed
-            total.edges_created += stats.edges_created
-            total.edges_removed += stats.edges_removed
-            total.forward_seconds += stats.forward_seconds
-            total.backward_seconds += stats.backward_seconds
+            for field in dataclasses.fields(CleaningStats):
+                setattr(total, field.name,
+                        getattr(total, field.name) + getattr(stats, field.name))
         return total
 
     def __repr__(self) -> str:
@@ -147,9 +187,10 @@ _worker_state: Optional[Tuple[Dict[int, SharedCleaningPlan],
 
 
 def _init_worker(table: Dict[int, ConstraintSet], options: CleaningOptions,
-                 prior: Optional[object]) -> None:
+                 prior: Optional[object], static_checked: bool) -> None:
     global _worker_state
-    _worker_state = ({key: SharedCleaningPlan(constraints)
+    _worker_state = ({key: SharedCleaningPlan(constraints,
+                                              static_checked=static_checked)
                       for key, constraints in table.items()}, options, prior)
 
 
@@ -172,21 +213,272 @@ def _clean_one(index: int, sequence: SequenceLike,
                         seconds=time.perf_counter() - started)
 
 
-def _worker_clean(task: _Task) -> BatchOutcome:
+def _worker_clean_chunk(chunk: Sequence[_Task]) -> List[BatchOutcome]:
     if _worker_state is None:
         raise RuntimeError("worker initializer did not run")
     plans, options, prior = _worker_state
-    index, key, sequence = task
-    return _clean_one(index, sequence, plans[key], options, prior)
+    return [_clean_one(index, sequence, plans[key], options, prior)
+            for index, key, sequence in chunk]
 
 
-def _pool_context():
+def _pool_context(start_method: Optional[str] = None):
     """Prefer ``fork`` (fast, shares the warm interpreter); fall back to
     the platform default where fork is unavailable (e.g. Windows/macOS
-    spawn) — the worker entry points are module-level, so both work."""
+    spawn) — the worker entry points are module-level, so both work.  An
+    explicit ``start_method`` overrides the preference."""
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
+
+
+# ----------------------------------------------------------------------
+# the fault-tolerant pool supervisor
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Flight:
+    """One chunk in flight: what was submitted, when, and how."""
+
+    chunk: List[_Task]
+    submitted: float
+    deadline: Optional[float]
+    #: Probe flights are submitted one at a time, so a pool breakage while
+    #: one is out implicates exactly this chunk.
+    probing: bool
+
+
+class _PoolSupervisor:
+    """Drives task chunks through a respawnable ``ProcessPoolExecutor``.
+
+    The normal path submits chunks ``workers``-and-some deep and collects
+    futures as they finish.  Two faults are survived:
+
+    * **pool breakage** (a worker died): every unfinished chunk becomes a
+      *suspect* and is re-driven through probe mode — one chunk in flight
+      at a time, so a second breakage attributes the crash exactly.  A
+      multi-object suspect that crashes is bisected; a single-object
+      suspect that crashes counts an attempt against that object and is
+      quarantined as ``WorkerCrashError`` once its attempts exceed
+      ``max_retries`` (the outcome map doubles as the exclusion list — a
+      quarantined object is never resubmitted, so a crash-looper cannot
+      cycle the pool forever);
+    * **deadline expiry** (``timeout_seconds``): the expired object is
+      recorded as ``CleaningTimeoutError``, the pool is torn down (the
+      only way to reclaim the stuck worker), and the innocent in-flight
+      chunks are re-queued for the fresh pool.
+
+    Re-driving a chunk repeats a pure computation, so survivors stay
+    bit-identical to a sequential run no matter how many times their chunk
+    was interrupted.
+    """
+
+    def __init__(self, *, table: Dict[int, ConstraintSet],
+                 options: CleaningOptions, prior: Optional[object],
+                 workers: int, timeout_seconds: Optional[float],
+                 max_retries: int, context,
+                 static_checked: bool) -> None:
+        self.table = table
+        self.options = options
+        self.prior = prior
+        self.workers = workers
+        self.timeout_seconds = timeout_seconds
+        self.max_retries = max_retries
+        self.context = context
+        self.static_checked = static_checked
+        self.respawns = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- pool lifecycle ------------------------------------------------
+    def _spawn(self) -> None:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self.context,
+                initializer=_init_worker,
+                initargs=(self.table, self.options, self.prior,
+                          self.static_checked))
+
+    def _discard(self, kill: bool) -> None:
+        """Drop the current pool; ``kill`` terminates still-busy workers
+        (required to reclaim a stuck one — a broken pool's are already
+        dead)."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        if kill:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join(timeout=2.0)
+
+    def close(self) -> None:
+        self._discard(kill=True)
+
+    # -- submission ----------------------------------------------------
+    def _submit(self, chunk: List[_Task],
+                inflight: Dict[Future, _Flight], probing: bool) -> bool:
+        """Submit one chunk; ``False`` when the pool broke under us (the
+        chunk is untouched and the caller re-queues it as a suspect)."""
+        self._spawn()
+        now = time.monotonic()
+        deadline = (None if self.timeout_seconds is None
+                    else now + self.timeout_seconds)
+        try:
+            future = self._pool.submit(_worker_clean_chunk, chunk)
+        except BrokenProcessPool:
+            return False
+        inflight[future] = _Flight(chunk=chunk, submitted=now,
+                                   deadline=deadline, probing=probing)
+        return True
+
+    def _fill(self, queue: Deque[List[_Task]], probes: Deque[List[_Task]],
+              inflight: Dict[Future, _Flight]) -> None:
+        if probes:
+            # Probe mode: exactly one outstanding future, and the normal
+            # queue waits — attribution before throughput.
+            if not inflight:
+                chunk = probes.popleft()
+                if not self._submit(chunk, inflight, probing=True):
+                    probes.appendleft(chunk)
+                    self._note_respawn(kill=False)
+            return
+        # With deadlines enforced, keep exactly ``workers`` in flight so a
+        # task's clock starts ticking when its worker actually does.
+        limit = (self.workers if self.timeout_seconds is not None
+                 else self.workers * 2)
+        while queue and len(inflight) < limit:
+            chunk = queue.popleft()
+            if not self._submit(chunk, inflight, probing=False):
+                probes.appendleft(chunk)
+                self._suspect_all(inflight, probes)
+                self._note_respawn(kill=False)
+                return
+
+    def _note_respawn(self, kill: bool) -> None:
+        self._discard(kill=kill)
+        self.respawns += 1
+
+    # -- fault handling ------------------------------------------------
+    def _suspect_all(self, inflight: Dict[Future, _Flight],
+                     probes: Deque[List[_Task]]) -> None:
+        """Everything still in flight died with the pool; probe it all."""
+        for flight in inflight.values():
+            probes.append(flight.chunk)
+        inflight.clear()
+
+    def _on_crash(self, broken: List[_Flight],
+                  inflight: Dict[Future, _Flight],
+                  probes: Deque[List[_Task]],
+                  attempts: Dict[int, int],
+                  outcomes: Dict[int, BatchOutcome]) -> None:
+        self._suspect_all(inflight, probes)
+        for flight in broken:
+            chunk = flight.chunk
+            if not flight.probing:
+                # Crash in the parallel phase: any in-flight chunk could be
+                # at fault, so this one joins the probe queue unblamed.
+                probes.append(chunk)
+            elif len(chunk) > 1:
+                # A probed multi-object chunk crashed: bisect so the
+                # innocent chunk-mates are retried apart from the poison.
+                mid = len(chunk) // 2
+                probes.appendleft(chunk[mid:])
+                probes.appendleft(chunk[:mid])
+            else:
+                # A probed singleton crashed: the culprit is known exactly.
+                index = chunk[0][0]
+                attempts[index] = attempts.get(index, 0) + 1
+                if attempts[index] > self.max_retries:
+                    elapsed = time.monotonic() - flight.submitted
+                    error = WorkerCrashError(
+                        f"object {index}: the worker process cleaning it "
+                        f"died {attempts[index]} time(s) "
+                        f"(max_retries={self.max_retries}); the object is "
+                        "quarantined and the rest of the batch continues")
+                    outcomes[index] = BatchOutcome(
+                        index=index, error_type=type(error).__name__,
+                        error=str(error), seconds=elapsed)
+                else:
+                    probes.appendleft(chunk)
+        self._note_respawn(kill=False)
+
+    def _expire(self, inflight: Dict[Future, _Flight],
+                queue: Deque[List[_Task]], probes: Deque[List[_Task]],
+                outcomes: Dict[int, BatchOutcome]) -> None:
+        if self.timeout_seconds is None or not inflight:
+            return
+        now = time.monotonic()
+        expired = [flight for future, flight in inflight.items()
+                   if not future.done()
+                   and flight.deadline is not None and now >= flight.deadline]
+        if not expired:
+            return
+        for flight in expired:
+            # Deadlines imply chunk_size 1, so an expired chunk is one
+            # object (asserted where chunks are cut).
+            for index, _key, _sequence in flight.chunk:
+                error = CleaningTimeoutError(
+                    f"object {index} exceeded the per-object wall-clock "
+                    f"budget of {self.timeout_seconds:g}s and was abandoned"
+                    " (its worker was reclaimed; sibling objects are "
+                    "unaffected)")
+                outcomes[index] = BatchOutcome(
+                    index=index, error_type=type(error).__name__,
+                    error=str(error), seconds=now - flight.submitted)
+        expired_ids = {id(flight) for flight in expired}
+        # Reclaiming the stuck worker costs the whole pool; salvage what
+        # already finished and re-queue the innocent rest for the respawn.
+        for future, flight in inflight.items():
+            if id(flight) in expired_ids:
+                continue
+            if future.done():
+                try:
+                    for outcome in future.result():
+                        outcomes[outcome.index] = outcome
+                    continue
+                except BrokenProcessPool:
+                    pass
+            (probes if flight.probing else queue).appendleft(flight.chunk)
+        inflight.clear()
+        self._note_respawn(kill=True)
+
+    # -- the drive loop ------------------------------------------------
+    def _tick(self, inflight: Dict[Future, _Flight]) -> Optional[float]:
+        deadlines = [flight.deadline for flight in inflight.values()
+                     if flight.deadline is not None]
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - time.monotonic())
+
+    def run(self, chunks: Sequence[List[_Task]]) -> Dict[int, BatchOutcome]:
+        outcomes: Dict[int, BatchOutcome] = {}
+        queue: Deque[List[_Task]] = deque(chunks)
+        probes: Deque[List[_Task]] = deque()
+        inflight: Dict[Future, _Flight] = {}
+        attempts: Dict[int, int] = {}
+        while queue or probes or inflight:
+            self._fill(queue, probes, inflight)
+            if not inflight:
+                continue
+            done, _ = wait(set(inflight), timeout=self._tick(inflight),
+                           return_when=FIRST_COMPLETED)
+            broken: List[_Flight] = []
+            for future in done:
+                flight = inflight.pop(future)
+                try:
+                    for outcome in future.result():
+                        outcomes[outcome.index] = outcome
+                except BrokenProcessPool:
+                    broken.append(flight)
+            if broken:
+                self._on_crash(broken, inflight, probes, attempts, outcomes)
+                continue
+            self._expire(inflight, queue, probes, outcomes)
+        return outcomes
 
 
 # ----------------------------------------------------------------------
@@ -205,6 +497,15 @@ class BatchCleaner:
     required when raw :class:`ReadingSequence` objects are submitted; it
     is shipped to each worker once, and the readings -> l-sequence
     interpretation happens in the workers too.
+
+    Fault tolerance (see ``docs/runtime.md`` for the full semantics):
+    ``timeout_seconds`` is an optional per-object wall-clock budget,
+    enforced by the parent via future deadlines (setting it forces
+    ``chunk_size`` to 1 and the pool path, even for ``workers=1``);
+    ``max_retries`` caps how often an object whose worker *crashed* is
+    re-attempted before it is quarantined as a ``WorkerCrashError``
+    outcome; ``start_method`` pins the multiprocessing start method
+    (default: prefer ``fork``, else the platform default).
     """
 
     def __init__(self, constraints: Union[ConstraintSet,
@@ -212,18 +513,37 @@ class BatchCleaner:
                  options: CleaningOptions = CleaningOptions(),
                  workers: Optional[int] = 1,
                  chunk_size: Optional[int] = None,
-                 prior: Optional[object] = None) -> None:
+                 prior: Optional[object] = None,
+                 timeout_seconds: Optional[float] = None,
+                 max_retries: int = 1,
+                 start_method: Optional[str] = None) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
+            raise BatchConfigurationError(
+                f"workers must be >= 1, got {workers}")
         if chunk_size is not None and chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+            raise BatchConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}")
+        if timeout_seconds is not None and not timeout_seconds > 0:
+            raise BatchConfigurationError(
+                f"timeout_seconds must be > 0, got {timeout_seconds}")
+        if max_retries < 0:
+            raise BatchConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}")
+        if (start_method is not None
+                and start_method not in multiprocessing.get_all_start_methods()):
+            raise BatchConfigurationError(
+                f"start method {start_method!r} unavailable here; choose "
+                f"from {multiprocessing.get_all_start_methods()}")
         self._constraints = constraints
         self.options = options
         self.workers = workers
         self.chunk_size = chunk_size
         self.prior = prior
+        self.timeout_seconds = timeout_seconds
+        self.max_retries = max_retries
+        self.start_method = start_method
 
     def _tasks(self, sequences: Sequence[SequenceLike]
                ) -> Tuple[List[_Task], Dict[int, ConstraintSet]]:
@@ -239,7 +559,7 @@ class BatchCleaner:
         else:
             per_object = list(self._constraints)
             if len(per_object) != len(sequences):
-                raise ValueError(
+                raise BatchConfigurationError(
                     f"{len(sequences)} sequences but {len(per_object)} "
                     "constraint sets; pass one set, or one per object")
         table: Dict[int, ConstraintSet] = {}
@@ -265,25 +585,52 @@ class BatchCleaner:
         started = time.perf_counter()
         tasks, table = self._tasks(sequences)
         workers = min(self.workers, max(1, len(tasks)))
-        chunk = self.chunk_size
-        if chunk is None:
-            chunk = max(1, len(tasks) // (workers * 4))
-        if workers == 1:
+        if self.timeout_seconds is not None:
+            # Per-object deadlines need per-object tasks (and a process to
+            # supervise, so the pool path runs even for workers=1).
+            chunk = 1
+        else:
+            chunk = self.chunk_size
+            if chunk is None:
+                chunk = max(1, len(tasks) // (workers * 4))
+        respawns = 0
+        if workers == 1 and self.timeout_seconds is None:
             plans = {key: SharedCleaningPlan(constraints)
                      for key, constraints in table.items()}
             outcomes = [_clean_one(index, sequence, plans[key],
                                    self.options, self.prior)
                         for index, key, sequence in tasks]
         else:
-            with ProcessPoolExecutor(
-                    max_workers=workers, mp_context=_pool_context(),
-                    initializer=_init_worker,
-                    initargs=(table, self.options, self.prior)) as pool:
-                outcomes = list(pool.map(_worker_clean, tasks,
-                                         chunksize=chunk))
+            static_checked = False
+            if self.options.precheck != "off":
+                # Run the constraints-only analysis once, here in the
+                # parent: its warnings surface exactly once per distinct
+                # set, and respawned pools never repeat the work.
+                for constraints in table.values():
+                    SharedCleaningPlan(constraints).ensure_static_checked()
+                static_checked = True
+            chunks = [list(tasks[at:at + chunk])
+                      for at in range(0, len(tasks), chunk)]
+            supervisor = _PoolSupervisor(
+                table=table, options=self.options, prior=self.prior,
+                workers=workers, timeout_seconds=self.timeout_seconds,
+                max_retries=self.max_retries,
+                context=_pool_context(self.start_method),
+                static_checked=static_checked)
+            try:
+                by_index = supervisor.run(chunks)
+            finally:
+                supervisor.close()
+            respawns = supervisor.respawns
+            if len(by_index) != len(tasks):   # pragma: no cover - invariant
+                missing = sorted(set(range(len(tasks))) - set(by_index))
+                raise RuntimeError(
+                    f"batch supervisor lost outcomes for objects {missing}")
+            outcomes = [by_index[index] for index in range(len(tasks))]
         return BatchResult(outcomes=tuple(outcomes),
                            wall_seconds=time.perf_counter() - started,
-                           workers=workers, chunk_size=chunk)
+                           workers=workers, chunk_size=chunk,
+                           respawns=respawns)
 
 
 def clean_many(sequences: Sequence[SequenceLike],
@@ -291,12 +638,17 @@ def clean_many(sequences: Sequence[SequenceLike],
                options: CleaningOptions = CleaningOptions(),
                workers: Optional[int] = 1,
                chunk_size: Optional[int] = None,
-               prior: Optional[object] = None) -> BatchResult:
+               prior: Optional[object] = None,
+               timeout_seconds: Optional[float] = None,
+               max_retries: int = 1,
+               start_method: Optional[str] = None) -> BatchResult:
     """Clean a collection of objects, optionally across worker processes.
 
     The one-call form of :class:`BatchCleaner` — see its docstring for the
     parameter semantics and the module docstring for the guarantees.
     """
     cleaner = BatchCleaner(constraints, options=options, workers=workers,
-                           chunk_size=chunk_size, prior=prior)
+                           chunk_size=chunk_size, prior=prior,
+                           timeout_seconds=timeout_seconds,
+                           max_retries=max_retries, start_method=start_method)
     return cleaner.clean(sequences)

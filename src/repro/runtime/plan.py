@@ -36,12 +36,17 @@ class SharedCleaningPlan:
     runtime gives every worker process its own plan.
     """
 
-    def __init__(self, constraints: ConstraintSet) -> None:
+    def __init__(self, constraints: ConstraintSet, *,
+                 static_checked: bool = False) -> None:
         self.constraints = constraints
         self._du_rows: Dict[Tuple[str, Tuple[str, ...]],
                             FrozenSet[str]] = {}
         self._engine_cache = None
-        self._static_checked = False
+        # ``static_checked=True`` records that the constraints-only
+        # analysis already ran elsewhere (the batch parent runs it once
+        # before spawning workers, so respawned pools never repeat it and
+        # its warnings surface exactly once, in the parent).
+        self._static_checked = static_checked
 
     # ------------------------------------------------------------------
     # DU-reachability rows
@@ -94,6 +99,28 @@ class SharedCleaningPlan:
     # ------------------------------------------------------------------
     # run-once analyzer pre-check
     # ------------------------------------------------------------------
+    def ensure_static_checked(self) -> None:
+        """Run the constraints-only analysis (rules C001-C004) exactly once.
+
+        ERROR diagnostics surface as warnings, like the sequential path's
+        pre-check.  Idempotent — later calls (and plans constructed with
+        ``static_checked=True``) are no-ops, which is what lets the batch
+        runtime respawn crashed worker pools without re-analyzing or
+        re-warning.
+        """
+        if self._static_checked:
+            return
+        import warnings
+
+        from repro.analysis import analyze
+
+        report = analyze(self.constraints)
+        for diagnostic in report.errors:
+            warnings.warn(
+                f"pre-check {diagnostic.code}: {diagnostic.message}",
+                stacklevel=3)
+        self._static_checked = True
+
     def precheck(self, lsequence: LSequence, options) -> None:
         """The batch variant of ``CleaningOptions.precheck``.
 
@@ -110,17 +137,7 @@ class SharedCleaningPlan:
         """
         if options.precheck == "off":
             return
-        if not self._static_checked:
-            import warnings
-
-            from repro.analysis import analyze
-
-            report = analyze(self.constraints)
-            for diagnostic in report.errors:
-                warnings.warn(
-                    f"pre-check {diagnostic.code}: {diagnostic.message}",
-                    stacklevel=3)
-            self._static_checked = True
+        self.ensure_static_checked()
         if options.precheck == "error":
             from repro.analysis import predict_zero_mass
 

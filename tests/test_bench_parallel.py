@@ -51,3 +51,49 @@ def test_check_rejects_malformed_payload(tmp_path):
         capture_output=True, text=True, env=_bench_env(), timeout=60)
     assert check.returncode == 1
     assert "SCHEMA:" in check.stderr
+
+def test_inject_crash_smoke_records_quarantine(tmp_path):
+    out = tmp_path / "BENCH_faults.json"
+    run = subprocess.run(
+        [sys.executable, str(BENCH), "--objects", "2", "--duration", "30",
+         "--workers", "2", "--inject-crash", "--out", str(out)],
+        capture_output=True, text=True, env=_bench_env(), timeout=300)
+    assert run.returncode == 0, run.stderr
+    assert "WorkerCrashError" in run.stdout
+
+    payload = json.loads(out.read_text())
+    # Real objects are unharmed and identical to the sequential run...
+    assert payload["identical_output"] is True
+    assert payload["failures"] == 0
+    # ...while the injected object was quarantined with the right type.
+    fault = payload["fault_injection"]
+    assert fault["inject_crash"] is True
+    [injected] = fault["injected"]
+    assert injected["ok"] is False
+    assert injected["error_type"] == "WorkerCrashError"
+    assert fault["respawns"] >= 1
+
+    check = subprocess.run(
+        [sys.executable, str(BENCH), "--check", str(out)],
+        capture_output=True, text=True, env=_bench_env(), timeout=60)
+    assert check.returncode == 0, check.stderr
+
+
+def test_check_rejects_unquarantined_injection(tmp_path):
+    # An injected fault that "succeeded" (or failed with the wrong type)
+    # must flunk --check: the quarantine contract is part of the schema.
+    good = tmp_path / "base.json"
+    run = subprocess.run(
+        [sys.executable, str(BENCH), "--objects", "2", "--duration", "30",
+         "--workers", "2", "--inject-crash", "--out", str(good)],
+        capture_output=True, text=True, env=_bench_env(), timeout=300)
+    assert run.returncode == 0, run.stderr
+    payload = json.loads(good.read_text())
+    payload["fault_injection"]["injected"][0]["error_type"] = "ZeroMassError"
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(payload))
+    check = subprocess.run(
+        [sys.executable, str(BENCH), "--check", str(bad)],
+        capture_output=True, text=True, env=_bench_env(), timeout=60)
+    assert check.returncode == 1
+    assert "not quarantined" in check.stderr

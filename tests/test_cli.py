@@ -55,6 +55,27 @@ class TestCommands:
         assert code == 0
         assert "cleaned: 2" in capsys.readouterr().out
 
+    def test_clean_many_timeout_and_retry_flags(self, capsys, tmp_path):
+        # A generous --timeout routes through the supervised pool (even at
+        # --workers 1) without failing anything; the payload reports the
+        # respawn counter.
+        out = tmp_path / "batch.json"
+        code = main(["clean-many", "--dataset", "syn1", "--scale", "tiny",
+                     "--constraints", "DU", "--workers", "1", "--limit", "2",
+                     "--timeout", "60", "--max-retries", "0",
+                     "--json", str(out)])
+        assert code == 0
+        assert "cleaned: 2" in capsys.readouterr().out
+        import json
+        payload = json.loads(out.read_text())
+        assert payload["respawns"] == 0
+
+    def test_clean_many_rejects_bad_timeout(self, capsys):
+        from repro.errors import BatchConfigurationError
+        with pytest.raises(BatchConfigurationError):
+            main(["clean-many", "--dataset", "syn1", "--scale", "tiny",
+                  "--constraints", "DU", "--limit", "1", "--timeout", "-1"])
+
     def test_clean_bad_index(self):
         with pytest.raises(SystemExit):
             main(["clean", "--dataset", "syn1", "--scale", "tiny",

@@ -46,6 +46,48 @@ class TestExtend:
         cleaner.extend({"B": 1.0})
         assert cleaner.duration == 2
 
+    def test_failed_first_extension_leaves_cleaner_pristine(self, constraints):
+        # At tau=0 the frontier cannot be empty (source_states yields one
+        # node state per positive-mass location), so the first extension
+        # can only fail as a ReadingSequenceError — zero/empty rows — and
+        # must leave the cleaner exactly as constructed.
+        cleaner = IncrementalCleaner(constraints)
+        with pytest.raises(ReadingSequenceError):
+            cleaner.extend({"A": 0.0})
+        assert cleaner.duration == 0
+        assert cleaner.frontier_size() == 0
+        with pytest.raises(ReadingSequenceError):
+            cleaner.filtered_distribution()
+        with pytest.raises(ReadingSequenceError):
+            cleaner.finalize()
+        # ...and still fully usable afterwards.
+        cleaner.extend({"A": 1.0})
+        assert cleaner.duration == 1
+
+    def test_failed_extension_preserves_every_observable(self, constraints):
+        # The docstring's "state is unchanged" promise, pinned across all
+        # four observables — duration, frontier, filtered distribution,
+        # finalize — for a failure deep in the stream.
+        cleaner = IncrementalCleaner(constraints)
+        for row in ({"A": 1.0}, {"A": 0.5, "B": 0.5}, {"A": 1.0}):
+            cleaner.extend(row)
+        duration = cleaner.duration
+        frontier_size = cleaner.frontier_size()
+        filtered = cleaner.filtered_distribution()
+        baseline = cleaner.finalize()
+
+        with pytest.raises(InconsistentReadingsError):
+            cleaner.extend({"C": 1.0})     # the frontier sits at A; A -> C
+
+        assert cleaner.duration == duration
+        assert cleaner.frontier_size() == frontier_size
+        assert cleaner.filtered_distribution() == filtered
+        after = cleaner.finalize()
+        assert list(after.paths()) == list(baseline.paths())
+        # The stream continues as if the bad reading never arrived.
+        cleaner.extend({"B": 0.5, "D": 0.5})
+        assert cleaner.duration == duration + 1
+
     def test_extend_reading_needs_prior(self, constraints):
         cleaner = IncrementalCleaner(constraints)
         with pytest.raises(ReadingSequenceError):

@@ -125,3 +125,57 @@ class TestSampling:
         for location, probability in stream.initial.items():
             assert starts.get(location, 0) / n == pytest.approx(
                 probability, abs=0.04)
+
+class TestLeakedMass:
+    """Hand-built (non-``from_ct_graph``) chains may leak probability mass:
+    a reachable state with a missing or zero-sum transition row.  The
+    contract: ``marginal`` reports the deficit silently (dict sums < 1),
+    ``sample`` refuses with a QueryError naming the leak site."""
+
+    @pytest.fixture
+    def leaky(self):
+        # At timestep 1, state "B" has no transition row: the 0.4 mass
+        # reaching it leaks before timestep 2.
+        return MarkovianStream(
+            initial={"A": 0.6, "B": 0.4},
+            transitions=[{"A": {"A": 0.5, "B": 0.5}, "B": {"B": 1.0}},
+                         {"A": {"A": 1.0}}])
+
+    def test_marginal_may_sum_below_one(self, leaky):
+        assert math.fsum(leaky.marginal(0).values()) == pytest.approx(1.0)
+        assert math.fsum(leaky.marginal(1).values()) == pytest.approx(1.0)
+        # P(X_1 = B) = 0.6*0.5 + 0.4*1.0 = 0.7 leaks: only A's mass flows on.
+        last = leaky.marginal(2)
+        assert set(last) == {"A"}
+        assert math.fsum(last.values()) == pytest.approx(0.3)
+
+    def test_from_ct_graph_streams_are_leak_free(self, chain_case):
+        _, stream = chain_case
+        for tau in range(stream.duration):
+            assert math.fsum(stream.marginal(tau).values()) == \
+                pytest.approx(1.0)
+
+    def test_sample_missing_row_raises_query_error(self, leaky):
+        # Force the walk into the leak: B at step 1 has no row.
+        rng = np.random.default_rng(3)
+        with pytest.raises(QueryError) as excinfo:
+            for _ in range(200):
+                leaky.sample(rng)
+        message = str(excinfo.value)
+        assert "timestep 1" in message
+        assert "'B'" in message
+
+    def test_sample_zero_sum_row_raises_query_error(self):
+        stream = MarkovianStream(initial={"A": 1.0},
+                                 transitions=[{"A": {"B": 0.0}}])
+        with pytest.raises(QueryError) as excinfo:
+            stream.sample(np.random.default_rng(0))
+        message = str(excinfo.value)
+        assert "timestep 0" in message and "'A'" in message
+        assert "sums to" in message
+
+    def test_sample_empty_initial_raises_query_error(self):
+        stream = MarkovianStream(initial={}, transitions=[])
+        with pytest.raises(QueryError) as excinfo:
+            stream.sample(np.random.default_rng(0))
+        assert "initial distribution" in str(excinfo.value)

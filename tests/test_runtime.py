@@ -217,12 +217,62 @@ class TestSharedPlan:
         plan.precheck(poison, CleaningOptions(precheck="warn"))
 
 
+class TestAggregateStats:
+    def test_every_stats_field_is_summed(self):
+        # Build outcomes whose stats carry a distinct prime in EVERY field
+        # (timing floats included): if aggregate_stats ever regresses to a
+        # hand-maintained field list, a newly-added or forgotten counter
+        # shows up here as a wrong sum.
+        import dataclasses
+
+        from repro.core.algorithm import CleaningStats
+        from repro.runtime.batch import BatchOutcome, BatchResult
+
+        field_names = [f.name for f in dataclasses.fields(CleaningStats)]
+        assert field_names  # the contract below is vacuous otherwise
+
+        class FakeGraph:
+            def __init__(self, stats):
+                self.stats = stats
+
+        outcomes = []
+        for index, base in enumerate((2, 3)):
+            stats = CleaningStats(**{
+                name: base ** position
+                for position, name in enumerate(field_names, start=1)})
+            outcomes.append(BatchOutcome(index=index, graph=FakeGraph(stats)))
+        # A failed outcome must contribute nothing.
+        outcomes.append(BatchOutcome(index=2, error_type="ZeroMassError",
+                                     error="boom"))
+        result = BatchResult(outcomes=tuple(outcomes), wall_seconds=0.1,
+                             workers=1, chunk_size=1)
+
+        total = result.aggregate_stats()
+        for position, name in enumerate(field_names, start=1):
+            assert getattr(total, name) == 2 ** position + 3 ** position, name
+
+
 class TestValidation:
     def test_bad_worker_counts_rejected(self):
         with pytest.raises(ValueError):
             BatchCleaner(CONSTRAINTS, workers=0)
         with pytest.raises(ValueError):
             BatchCleaner(CONSTRAINTS, chunk_size=0)
+
+    def test_validation_errors_join_the_repro_taxonomy(self):
+        # BatchConfigurationError subclasses both ReproError and ValueError,
+        # so the pytest.raises(ValueError) assertions above keep passing
+        # while library-level handlers can catch ReproError uniformly.
+        from repro.errors import BatchConfigurationError, ReproError
+
+        for build in (lambda: BatchCleaner(CONSTRAINTS, workers=0),
+                      lambda: BatchCleaner(CONSTRAINTS, chunk_size=-1),
+                      lambda: BatchCleaner(CONSTRAINTS, timeout_seconds=0.0),
+                      lambda: BatchCleaner(CONSTRAINTS, max_retries=-1)):
+            with pytest.raises(BatchConfigurationError) as excinfo:
+                build()
+            assert isinstance(excinfo.value, ReproError)
+            assert isinstance(excinfo.value, ValueError)
 
     def test_empty_batch(self):
         result = clean_many([], CONSTRAINTS, workers=4)

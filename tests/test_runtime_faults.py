@@ -1,0 +1,175 @@
+"""Fault-injection tests for the fault-tolerant batch runtime.
+
+The contract under test (docs/runtime.md, "Failure semantics"): a worker
+crash or a per-object deadline miss fails *that object's* outcome — with
+the right ``error_type``, in input order — while every surviving object's
+graph stays bit-identical to a sequential ``build_ct_graph`` run, under
+both ``fork`` and ``spawn`` start methods.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.algorithm import build_ct_graph
+from repro.core.constraints import ConstraintSet, Latency, Unreachable
+from repro.core.lsequence import LSequence
+from repro.errors import (
+    BatchConfigurationError,
+    CleaningTimeoutError,
+    ReproError,
+    WorkerCrashError,
+)
+from repro.runtime import BatchCleaner, clean_many
+from repro.runtime.faults import CrashingSequence, SlowSequence
+
+CONSTRAINTS = ConstraintSet([
+    Unreachable("A", "C"), Unreachable("C", "A"), Latency("B", 2),
+])
+
+_PHASES = (
+    {"A": 0.4, "B": 0.4, "C": 0.2},
+    {"B": 0.6, "D": 0.4},
+    {"B": 0.5, "C": 0.3, "D": 0.2},
+    {"A": 0.5, "B": 0.5},
+)
+
+#: Both start methods where the platform offers them (Linux CI runs both;
+#: Windows/macOS default installs only expose spawn).
+START_METHODS = [method for method in ("fork", "spawn")
+                 if method in multiprocessing.get_all_start_methods()]
+
+#: Generous per-object budget for the timeout tests: it must absorb pool
+#: spin-up (slow under spawn) yet stay far below the straggler's sleep.
+TIMEOUT = 3.0
+SLEEP = 60.0
+
+
+def make_lsequence(duration, offset=0):
+    return LSequence([_PHASES[(tau + offset) % len(_PHASES)]
+                      for tau in range(duration)])
+
+
+def assert_bit_identical(outcome, sequence):
+    expected = build_ct_graph(sequence, CONSTRAINTS)
+    assert outcome.ok
+    assert list(outcome.graph.paths()) == list(expected.paths())
+
+
+@pytest.mark.parametrize("start_method", START_METHODS)
+class TestWorkerCrash:
+    def test_crash_quarantined_siblings_bit_identical(self, start_method):
+        workload = [make_lsequence(6, 0), CrashingSequence(),
+                    make_lsequence(6, 1)]
+        result = clean_many(workload, CONSTRAINTS, workers=2,
+                            start_method=start_method)
+        assert [outcome.ok for outcome in result] == [True, False, True]
+        assert [outcome.index for outcome in result] == [0, 1, 2]
+        failed = result[1]
+        assert failed.error_type == "WorkerCrashError"
+        assert "quarantined" in failed.error
+        assert [o.index for o in result.failures] == [1]
+        assert result.respawns >= 1
+        assert_bit_identical(result[0], workload[0])
+        assert_bit_identical(result[2], workload[2])
+
+    def test_timeout_quarantined_siblings_bit_identical(self, start_method):
+        slow = SlowSequence([{"A": 1.0}, {"B": 1.0}], seconds=SLEEP)
+        workload = [make_lsequence(6, 0), slow, make_lsequence(6, 1)]
+        result = clean_many(workload, CONSTRAINTS, workers=2,
+                            timeout_seconds=TIMEOUT,
+                            start_method=start_method)
+        assert [outcome.ok for outcome in result] == [True, False, True]
+        assert [outcome.index for outcome in result] == [0, 1, 2]
+        failed = result[1]
+        assert failed.error_type == "CleaningTimeoutError"
+        assert "wall-clock" in failed.error
+        assert failed.seconds >= TIMEOUT
+        assert [o.index for o in result.failures] == [1]
+        assert result.respawns >= 1
+        assert_bit_identical(result[0], workload[0])
+        assert_bit_identical(result[2], workload[2])
+
+
+class TestCrashRecoveryDetails:
+    """Fork-only coverage of the recovery machinery's corners (the start
+    method moves where processes come from, not how the parent reacts)."""
+
+    def test_multi_object_chunks_are_bisected_around_the_poison(self):
+        workload = [make_lsequence(5, offset) for offset in range(6)]
+        workload.insert(3, CrashingSequence())
+        result = clean_many(workload, CONSTRAINTS, workers=2, chunk_size=4)
+        assert result[3].error_type == "WorkerCrashError"
+        assert [o.index for o in result.failures] == [3]
+        for index, sequence in enumerate(workload):
+            if index != 3:
+                assert_bit_identical(result[index], sequence)
+
+    def test_max_retries_zero_quarantines_on_first_confirmed_crash(self):
+        workload = [CrashingSequence(), make_lsequence(4)]
+        eager = clean_many(workload, CONSTRAINTS, workers=2, max_retries=0)
+        patient = clean_many(workload, CONSTRAINTS, workers=2, max_retries=2)
+        for result in (eager, patient):
+            assert result[0].error_type == "WorkerCrashError"
+            assert result[1].ok
+        # Every extra permitted retry costs at least one more pool respawn.
+        assert patient.respawns > eager.respawns
+
+    def test_all_objects_crashing_still_terminates(self):
+        result = clean_many([CrashingSequence(), CrashingSequence()],
+                            CONSTRAINTS, workers=2, max_retries=0)
+        assert [o.error_type for o in result] == ["WorkerCrashError"] * 2
+        assert result.cleaned == 0
+
+    def test_timeout_supervises_even_workers_1(self):
+        # Asking for a deadline opts out of the in-process path: a stuck
+        # object cannot supervise itself.
+        slow = SlowSequence([{"A": 1.0}], seconds=SLEEP)
+        result = clean_many([slow, make_lsequence(4)], CONSTRAINTS,
+                            workers=1, timeout_seconds=TIMEOUT)
+        assert result.workers == 1
+        assert result[0].error_type == "CleaningTimeoutError"
+        assert result[1].ok
+
+    def test_fast_objects_clean_normally_under_a_deadline(self):
+        workload = [make_lsequence(6, offset) for offset in range(4)]
+        result = clean_many(workload, CONSTRAINTS, workers=2,
+                            timeout_seconds=30.0)
+        assert result.cleaned == len(workload)
+        assert result.respawns == 0
+        assert result.chunk_size == 1  # deadlines imply per-object tasks
+        for outcome, sequence in zip(result, workload):
+            assert_bit_identical(outcome, sequence)
+
+    def test_domain_errors_still_fail_softly_not_as_crashes(self):
+        poison = LSequence([{"A": 1.0}, {"C": 1.0}])   # zero valid mass
+        result = clean_many([poison, make_lsequence(4)], CONSTRAINTS,
+                            workers=2, timeout_seconds=30.0)
+        assert result[0].error_type == "ZeroMassError"
+        assert result[1].ok
+        assert result.respawns == 0
+
+
+class TestConfigurationValidation:
+    def test_bad_values_raise_batch_configuration_error(self):
+        for kwargs in ({"timeout_seconds": 0.0}, {"timeout_seconds": -1.0},
+                       {"max_retries": -1}, {"workers": 0},
+                       {"chunk_size": 0},
+                       {"start_method": "no-such-method"}):
+            with pytest.raises(BatchConfigurationError):
+                BatchCleaner(CONSTRAINTS, **kwargs)
+
+    def test_batch_configuration_error_is_both_taxonomies(self):
+        # New code catches the library's ReproError; pre-existing callers
+        # caught ValueError — the subclassing serves both.
+        assert issubclass(BatchConfigurationError, ReproError)
+        assert issubclass(BatchConfigurationError, ValueError)
+        with pytest.raises(ValueError):
+            BatchCleaner(CONSTRAINTS, workers=0)
+        with pytest.raises(ReproError):
+            clean_many([make_lsequence(3)], [CONSTRAINTS, CONSTRAINTS],
+                       workers=1)
+
+    def test_fault_error_types_exported_in_taxonomy(self):
+        assert issubclass(WorkerCrashError, ReproError)
+        assert issubclass(CleaningTimeoutError, ReproError)

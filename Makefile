@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck check bench bench-paper bench-parallel bench-faults bench-engine report examples loc clean
+.PHONY: install test lint typecheck check bench bench-paper bench-parallel bench-faults bench-engine bench-queries report examples loc clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -56,6 +56,13 @@ bench-faults:
 bench-engine:
 	$(PYTHON) benchmarks/bench_engine.py --out BENCH_engine.json
 	$(PYTHON) benchmarks/bench_engine.py --check BENCH_engine.json
+
+# Node-path vs flat QuerySession: bit-identical answers check plus the
+# many-queries-per-graph speedup sweep, BENCH_queries.json with the
+# headline number.
+bench-queries:
+	$(PYTHON) benchmarks/bench_queries.py --out BENCH_queries.json
+	$(PYTHON) benchmarks/bench_queries.py --check BENCH_queries.json
 
 report:
 	$(PYTHON) -m repro.cli report --both --scale small --out evaluation_report.md

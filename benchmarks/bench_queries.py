@@ -1,0 +1,294 @@
+"""Node-path vs. flat ``QuerySession``: many-queries-per-graph speedup.
+
+The flat query engine (:class:`repro.core.flatgraph.FlatCTGraph` +
+:class:`repro.queries.session.QuerySession`) must be *bit-identical* to
+the ``CTGraph`` object-path query functions — this bench both asserts
+that (every statement's value compared across paths) and records how
+much faster the flat pipeline answers a realistic analysis session:
+clean one long periodic l-sequence, then ask eleven questions of it
+(marginals, entropy, visit/first-visit/span, a pattern match, the MAP
+trajectory and the top-10 trajectories).
+
+* **node path** — ``CleaningOptions(engine="compact")`` materialising
+  ``CTNode`` objects, each statement answered by the object-path
+  query functions (``repro.queries.ql.execute`` on the ``CTGraph``);
+* **flat path** — the same cleaning with ``materialize="flat"`` (no
+  ``CTNode`` is ever built), all statements answered through one shared
+  :class:`~repro.queries.session.QuerySession`.
+
+Both sides use the compact cleaning engine, so the measured gap is the
+query layer + materialisation, not the engine (``bench_engine`` covers
+that).  Also records ``estimate_size_bytes()`` for both forms.
+
+Emits a machine-readable ``BENCH_queries.json`` so successive commits
+can be compared.  Usage::
+
+    python benchmarks/bench_queries.py                    # full sweep
+    python benchmarks/bench_queries.py --smoke            # CI-sized
+    python benchmarks/bench_queries.py --check BENCH_queries.json
+
+``--check`` validates an existing result file against the schema and
+exits non-zero on problems — that (and only that) is what CI asserts:
+the recorded speedups are hardware- and load-dependent numbers for
+humans to judge, not gates for containers to flake on.  ``parity``
+(bit-identical answers across paths) must be true in any payload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.algorithm import CleaningOptions, build_ct_graph
+from repro.core.constraints import (
+    ConstraintSet,
+    Latency,
+    TravelingTime,
+    Unreachable,
+)
+from repro.core.lsequence import LSequence
+from repro.queries import ql
+from repro.queries.session import QuerySession
+
+SCHEMA_VERSION = 1
+
+#: The ``bench_engine``/``bench_scaling`` workload: DU + LT + TT all
+#: bind, keeping the cleaned graphs branchy enough that queries have
+#: real mass to aggregate.
+CONSTRAINTS = ConstraintSet([
+    Unreachable("A", "C"), Unreachable("C", "A"),
+    Latency("B", 3),
+    TravelingTime("A", "D", 4), TravelingTime("D", "A", 4),
+])
+
+_PHASES = (
+    {"A": 0.4, "B": 0.4, "C": 0.2},
+    {"B": 0.6, "D": 0.4},
+    {"B": 0.5, "C": 0.3, "D": 0.2},
+    {"A": 0.5, "B": 0.5},
+)
+
+DURATIONS = (400, 800, 1600)
+TOP_K = 10
+
+
+def make_instance(duration: int) -> LSequence:
+    """The periodic ambiguous l-sequence the other benches use."""
+    return LSequence([dict(_PHASES[tau % len(_PHASES)])
+                      for tau in range(duration)])
+
+
+def statements(duration: int) -> List[str]:
+    """The eleven-statement analysis session asked of each graph."""
+    mid = duration // 2
+    return [
+        f"STAY {mid}",
+        "ENTROPY",
+        "EXPECTED",
+        "VISIT B",
+        "VISIT D",
+        "FIRST C",
+        "FIRST D",
+        f"SPAN B {mid} {min(mid + 4, duration - 1)}",
+        "MATCH ? B[2] ? D[1] ?",
+        "BEST",
+        f"TOP {TOP_K}",
+    ]
+
+
+def _node_pipeline(lsequence: LSequence,
+                   session_statements: Sequence[str]) -> Tuple[list, int]:
+    """Clean to ``CTNode`` form, answer via object-path functions."""
+    graph = build_ct_graph(lsequence, CONSTRAINTS,
+                           CleaningOptions(engine="compact"))
+    results = [ql.execute(graph, statement)
+               for statement in session_statements]
+    return results, graph.estimate_size_bytes()
+
+
+def _flat_pipeline(lsequence: LSequence,
+                   session_statements: Sequence[str]) -> Tuple[list, int]:
+    """Clean straight to flat form, answer via one ``QuerySession``."""
+    graph = build_ct_graph(lsequence, CONSTRAINTS,
+                           CleaningOptions(engine="compact",
+                                           materialize="flat"))
+    session = QuerySession(graph)
+    results = [ql.execute(session, statement)
+               for statement in session_statements]
+    return results, graph.estimate_size_bytes()
+
+
+def _best_of(repeats: int, build: Callable[[], object]) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        build()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run(durations: Sequence[int], repeats: int) -> Dict[str, object]:
+    """Execute the sweep; returns the JSON-serialisable payload."""
+    results: List[Dict[str, object]] = []
+    parity = True
+    for duration in durations:
+        lsequence = make_instance(duration)
+        session_statements = statements(duration)
+        node_results, node_size = _node_pipeline(
+            lsequence, session_statements)
+        flat_results, flat_size = _flat_pipeline(
+            lsequence, session_statements)
+        parity = parity and all(
+            node.value == flat.value
+            for node, flat in zip(node_results, flat_results))
+        node_seconds = _best_of(
+            repeats, lambda: _node_pipeline(lsequence, session_statements))
+        flat_seconds = _best_of(
+            repeats, lambda: _flat_pipeline(lsequence, session_statements))
+        results.append({
+            "duration": duration,
+            "statements": len(session_statements),
+            "node_seconds": node_seconds,
+            "flat_seconds": flat_seconds,
+            "speedup": node_seconds / flat_seconds,
+            "node_size_bytes": node_size,
+            "flat_size_bytes": flat_size,
+        })
+    headline = results[-1]
+    return {
+        "benchmark": "bench_queries",
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "cpu_count": os.cpu_count() or 1,
+        "repeats": repeats,
+        "workload": {
+            "generator": "periodic 4-phase ambiguous readings",
+            "durations": list(durations),
+            "statements": statements(int(durations[-1])),
+            "constraints": [repr(c) for c in CONSTRAINTS],
+        },
+        "speedup": headline["speedup"],
+        "parity": parity,
+        "results": results,
+    }
+
+
+def validate_payload(payload: Dict[str, object]) -> List[str]:
+    """Schema check of a ``BENCH_queries.json`` payload; [] when valid."""
+    problems: List[str] = []
+
+    def expect(condition: bool, message: str) -> None:
+        if not condition:
+            problems.append(message)
+
+    expect(payload.get("benchmark") == "bench_queries",
+           "benchmark name missing or wrong")
+    expect(payload.get("schema_version") == SCHEMA_VERSION,
+           f"schema_version must be {SCHEMA_VERSION}")
+    expect(isinstance(payload.get("cpu_count"), int),
+           "cpu_count must be an int")
+    expect(isinstance(payload.get("repeats"), int)
+           and payload["repeats"] >= 1, "repeats must be an int >= 1")
+    workload = payload.get("workload")
+    expect(isinstance(workload, dict)
+           and isinstance(workload.get("durations"), list)
+           and workload["durations"]
+           and isinstance(workload.get("statements"), list)
+           and len(workload.get("statements") or ()) >= 8
+           and isinstance(workload.get("constraints"), list),
+           "workload must describe durations/statements (>= 8)/constraints")
+    expect(isinstance(payload.get("speedup"), float)
+           and payload["speedup"] > 0.0,
+           "speedup must be a positive float")
+    expect(payload.get("parity") is True,
+           "parity must be true — the flat query engine diverged from "
+           "the object-path answers")
+    results = payload.get("results")
+    expect(isinstance(results, list) and bool(results),
+           "results must be a non-empty list")
+    if isinstance(results, list) and results:
+        if isinstance(workload, dict):
+            expect(len(results) == len(workload.get("durations") or ()),
+                   "results length disagrees with workload.durations")
+        for entry in results:
+            if not (isinstance(entry, dict)
+                    and isinstance(entry.get("duration"), int)
+                    and entry["duration"] > 0
+                    and isinstance(entry.get("statements"), int)
+                    and entry["statements"] >= 8
+                    and isinstance(entry.get("node_seconds"), float)
+                    and entry["node_seconds"] > 0.0
+                    and isinstance(entry.get("flat_seconds"), float)
+                    and entry["flat_seconds"] > 0.0
+                    and isinstance(entry.get("speedup"), float)
+                    and entry["speedup"] > 0.0
+                    and isinstance(entry.get("node_size_bytes"), int)
+                    and isinstance(entry.get("flat_size_bytes"), int)):
+                problems.append(f"malformed result entry: {entry!r}")
+                continue
+            if entry["flat_size_bytes"] >= entry["node_size_bytes"]:
+                problems.append(
+                    f"duration {entry['duration']}: flat form "
+                    f"({entry['flat_size_bytes']} B) must be smaller "
+                    f"than node form ({entry['node_size_bytes']} B)")
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--durations", type=int, nargs="+",
+                        default=list(DURATIONS))
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of-N timing repeats per path")
+    parser.add_argument("--out", default="BENCH_queries.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI workload (one 60-step object, "
+                             "2 repeats)")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate an existing result file and exit")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        with open(args.check) as handle:
+            payload = json.load(handle)
+        problems = validate_payload(payload)
+        for problem in problems:
+            print(f"SCHEMA: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{args.check}: well-formed (speedup "
+                  f"{payload['speedup']:.2f}x, parity ok)")
+        return 1 if problems else 0
+
+    if args.smoke:
+        args.durations, args.repeats = [60], 2
+
+    payload = run(args.durations, args.repeats)
+    problems = validate_payload(payload)
+    if problems:
+        for problem in problems:
+            print(f"SELF-CHECK: {problem}", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    for entry in payload["results"]:
+        print(f"duration {entry['duration']:>5}: "
+              f"node {entry['node_seconds'] * 1000:7.1f} ms  "
+              f"flat {entry['flat_seconds'] * 1000:7.1f} ms "
+              f"({entry['speedup']:.2f}x)  "
+              f"size {entry['node_size_bytes']:>9} B -> "
+              f"{entry['flat_size_bytes']:>9} B")
+    print(f"headline: {payload['speedup']:.2f}x on "
+          f"{payload['results'][-1]['duration']} steps x "
+          f"{payload['results'][-1]['statements']} statements, "
+          f"bit-identical answers")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,11 @@ joint query over the two cleaned trajectory distributions:
   contact happened;
 * :func:`repro.queries.meeting.colocation_profile` — the contact window.
 
+All three meeting queries accept prebuilt
+:class:`~repro.queries.session.QuerySession`s, so the per-person sweeps
+are computed once and shared across every joint query (and any
+single-object questions asked along the way).
+
 The example also renders the cleaned position estimates as ASCII heatmaps
 (:mod:`repro.viz`) at the most likely contact moment.
 
@@ -21,6 +26,7 @@ import numpy as np
 
 from repro import (
     LSequence,
+    QuerySession,
     build_ct_graph,
     infer_constraints,
     meeting_probability,
@@ -72,25 +78,32 @@ def main() -> None:
     else:
         print("ground truth: the two never met")
 
-    p_meet = meeting_probability(carrier, visitor)
+    # One session per person: the forward sweeps behind the meeting
+    # queries (and the marginals below) are computed once and reused.
+    carrier_session = QuerySession(carrier)
+    visitor_session = QuerySession(visitor)
+
+    p_meet = meeting_probability(carrier_session, visitor_session)
     print(f"\nP(contact at some point) = {p_meet:.3f}")
 
-    first = meeting_time_distribution(carrier, visitor)
+    first = meeting_time_distribution(carrier_session, visitor_session)
     if first:
         top = sorted(first.items(), key=lambda kv: -kv[1])[:5]
         print("most likely first-contact times:")
         for tau, probability in top:
             print(f"  t={tau:3d}  p={probability:.3f}")
 
-    profile_values = colocation_profile(carrier, visitor)
+    profile_values = colocation_profile(carrier_session, visitor_session)
     hot = int(np.argmax(profile_values))
     print(f"\nhighest co-location probability at t={hot} "
           f"(p={profile_values[hot]:.3f})")
 
     print("\ncarrier position estimate at that moment:")
-    print(render_marginal(building, 0, carrier.location_marginal(hot)))
+    print(render_marginal(building, 0,
+                          carrier_session.location_marginal(hot)))
     print("\nvisitor position estimate at that moment:")
-    print(render_marginal(building, 0, visitor.location_marginal(hot)))
+    print(render_marginal(building, 0,
+                          visitor_session.location_marginal(hot)))
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ from repro.core.constraints import (
 )
 from repro.baselines import BeamCleaner, ParticleFilter, SmoothingFilter
 from repro.core.ctgraph import CTGraph, CTNode
+from repro.core.flatgraph import FlatCTGraph
 from repro.core.diagnostics import InconsistencyReport, diagnose
 from repro.core.groups import JointGraph, condition_group, condition_on_meeting
 from repro.core.incremental import IncrementalCleaner
@@ -53,6 +54,7 @@ from repro.runtime import (
     BatchCleaner,
     BatchOutcome,
     BatchResult,
+    QueryPlan,
     SharedCleaningPlan,
     clean_many,
 )
@@ -82,6 +84,7 @@ from repro.markov import MarkovianStream
 from repro.queries import (
     Pattern,
     PatternAtom,
+    QuerySession,
     TrajectoryQuery,
     colocation_profile,
     entropy_profile,
@@ -91,9 +94,11 @@ from repro.queries import (
     meeting_probability,
     meeting_time_distribution,
     most_likely_trajectory,
+    span_probability,
     stay_accuracy,
     stay_query,
     stay_query_prior,
+    time_at_location_distribution,
     top_k_trajectories,
     trajectory_query_accuracy,
     uncertainty_reduction,
@@ -143,7 +148,7 @@ __all__ = [
     "infer_tt_constraints", "infer_lt_constraints",
     # core cleaning
     "Reading", "ReadingSequence", "LSequence",
-    "CTGraph", "CTNode", "CleaningOptions", "CleaningStats",
+    "CTGraph", "CTNode", "FlatCTGraph", "CleaningOptions", "CleaningStats",
     "build_ct_graph", "clean", "NaiveConditioner",
     "TrajectorySampler", "rejection_sample",
     "is_valid_trajectory", "violations",
@@ -153,12 +158,13 @@ __all__ = [
     "SmoothingFilter", "ParticleFilter", "BeamCleaner",
     "diagnose", "InconsistencyReport",
     # queries
-    "Pattern", "PatternAtom", "TrajectoryQuery",
+    "Pattern", "PatternAtom", "TrajectoryQuery", "QuerySession",
     "stay_query", "stay_query_prior",
     "stay_accuracy", "trajectory_query_accuracy",
     "most_likely_trajectory", "top_k_trajectories",
     "entropy_profile", "entropy_profile_prior", "uncertainty_reduction",
     "expected_visit_counts", "visit_probability",
+    "span_probability", "time_at_location_distribution",
     "first_visit_distribution",
     "meeting_probability", "meeting_time_distribution",
     "colocation_profile",

@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from repro.core.algorithm import ENGINES, CleaningOptions, build_ct_graph
+from repro.core.ctgraph import CTGraph
 from repro.core.lsequence import LSequence
 from repro.experiments.harness import (
     CONSTRAINT_CONFIGS,
@@ -34,6 +36,7 @@ from repro.experiments.report import (
     query_time_table,
 )
 from repro.inference import MotilityProfile, infer_constraints
+from repro.queries.session import QuerySession
 from repro.queries.stay import stay_query
 from repro.queries.trajectory import TrajectoryQuery
 from repro.simulation.datasets import SCALES, syn1_dataset, syn2_dataset
@@ -112,6 +115,16 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--index", type=int, default=0)
     query.add_argument("--pattern", help="trajectory pattern, e.g. '? F0_R1[3] ?'")
     query.add_argument("--at", type=int, help="timestep for a stay query")
+    query.add_argument("--engine", choices=ENGINES, default="auto",
+                       help="cleaning engine feeding the query (results "
+                            "are bit-identical)")
+    query.add_argument("--flat", action="store_true",
+                       help="clean straight to the flat columnar form and "
+                            "answer through a QuerySession (same numbers, "
+                            "less time and memory on long objects)")
+    query.add_argument("--stats", action="store_true",
+                       help="print cleaning and query timings plus the "
+                            "graph representation in use")
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     add_common(experiment)
@@ -150,6 +163,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(ql)
     ql.add_argument("--constraints", default="DU,LT,TT")
     ql.add_argument("--index", type=int, default=0)
+    ql.add_argument("--engine", choices=ENGINES, default="auto",
+                    help="cleaning engine feeding the statements")
+    ql.add_argument("--flat", action="store_true",
+                    help="clean straight to the flat columnar form; all "
+                         "statements then share one QuerySession's sweeps")
+    ql.add_argument("--stats", action="store_true",
+                    help="print engine/representation and timings")
     ql.add_argument("statements", nargs="+",
                     help="statements like 'STAY 10', 'MATCH ? F0_R1 ?', "
                          "'TOP 3', 'ENTROPY'")
@@ -210,9 +230,11 @@ def _cleaned_graph(dataset, args):
     constraints = infer_constraints(dataset.building, MotilityProfile(),
                                     kinds=kinds, distances=dataset.distances)
     lsequence = LSequence.from_readings(trajectory.readings, dataset.prior)
-    # Only clean / clean-many expose --engine; every other command that
-    # funnels through here cleans with the default (auto) selection.
-    options = CleaningOptions(engine=getattr(args, "engine", "auto"))
+    # Commands without --engine/--flat funnel through here with the
+    # defaults (auto engine, node materialisation).
+    options = CleaningOptions(
+        engine=getattr(args, "engine", "auto"),
+        materialize="flat" if getattr(args, "flat", False) else "auto")
     return trajectory, lsequence, build_ct_graph(lsequence, constraints,
                                                  options)
 
@@ -327,11 +349,18 @@ def _command_clean_many(args: argparse.Namespace) -> int:
 
 def _command_query(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args)
+    clean_started = time.perf_counter()
     trajectory, lsequence, graph = _cleaned_graph(dataset, args)
+    clean_seconds = time.perf_counter() - clean_started
+    session = None if isinstance(graph, CTGraph) else QuerySession(graph)
     truth = tuple(trajectory.truth.locations)
     did_something = False
+    query_started = time.perf_counter()
     if args.at is not None:
-        answer = stay_query(graph, args.at)
+        if session is not None:
+            answer = session.location_marginal(args.at)
+        else:
+            answer = stay_query(graph, args.at)
         print(f"stay query at {args.at} (truth: {truth[args.at]}):")
         for location, probability in sorted(answer.items(),
                                             key=lambda kv: -kv[1])[:5]:
@@ -339,7 +368,8 @@ def _command_query(args: argparse.Namespace) -> int:
         did_something = True
     if args.pattern:
         query = TrajectoryQuery(args.pattern)
-        probability = query.probability(graph)
+        probability = query.probability(
+            session.graph if session is not None else graph)
         print(f"trajectory query {args.pattern!r}: "
               f"yes with p={probability:.3f} "
               f"(ground truth: {query.matches(truth)})")
@@ -347,6 +377,12 @@ def _command_query(args: argparse.Namespace) -> int:
     if not did_something:
         print("nothing to do: pass --at and/or --pattern", file=sys.stderr)
         return 2
+    if args.stats:
+        representation = "flat (QuerySession)" if session is not None \
+            else "nodes (CTGraph)"
+        print(f"stats: engine={args.engine}, representation={representation}")
+        print(f"timings: clean {clean_seconds:.4f} s, "
+              f"queries {time.perf_counter() - query_started:.4f} s")
     return 0
 
 
@@ -456,12 +492,22 @@ def _command_ql(args: argparse.Namespace) -> int:
     from repro.queries.ql import execute
 
     dataset = _load_dataset(args)
+    clean_started = time.perf_counter()
     _, _, graph = _cleaned_graph(dataset, args)
+    clean_seconds = time.perf_counter() - clean_started
+    target = graph if isinstance(graph, CTGraph) else QuerySession(graph)
+    query_started = time.perf_counter()
     for statement in args.statements:
-        result = execute(graph, statement)
+        result = execute(target, statement)
         print(f"> {statement}")
         print(result.format())
         print()
+    if args.stats:
+        representation = ("nodes (CTGraph)" if isinstance(graph, CTGraph)
+                          else "flat (QuerySession)")
+        print(f"stats: engine={args.engine}, representation={representation}")
+        print(f"timings: clean {clean_seconds:.4f} s, "
+              f"queries {time.perf_counter() - query_started:.4f} s")
     return 0
 
 

@@ -50,10 +50,11 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Union
 
 from repro.core.constraints import ConstraintSet
 from repro.core.ctgraph import CTGraph, CTNode
+from repro.core.flatgraph import FlatCTGraph
 from repro.core.lsequence import LSequence, ReadingSequence
 from repro.core.nodes import (
     DepartureFilter,
@@ -73,6 +74,11 @@ PRECHECK_MODES = ("off", "warn", "error")
 
 #: The interchangeable Algorithm 1 implementations (see ``docs/perf.md``).
 ENGINES = ("auto", "reference", "compact")
+
+#: What :func:`build_ct_graph` materialises: ``CTNode`` objects
+#: (``"nodes"``; ``"auto"`` currently resolves to the same) or the
+#: columnar :class:`~repro.core.flatgraph.FlatCTGraph` (``"flat"``).
+MATERIALIZE_MODES = ("auto", "nodes", "flat")
 
 #: ``engine="auto"`` switches to the compact engine at this duration: below
 #: it the reference builder's lower fixed cost wins, above it the memoised
@@ -114,11 +120,25 @@ class CleaningOptions:
     for short ones).  The engines are bit-exact with each other — same
     graph, same probabilities, same stats counters — so the choice is
     purely about speed; see ``docs/perf.md``.
+
+    ``materialize`` — the shape of the returned graph: ``"nodes"``
+    builds the :class:`~repro.core.ctgraph.CTGraph` object web (the
+    historical behaviour), ``"flat"`` returns the columnar
+    :class:`~repro.core.flatgraph.FlatCTGraph` instead — the compact
+    engine then never materialises ``CTNode`` objects at all, which is
+    both faster and smaller when the caller only runs queries (through
+    :class:`repro.queries.session.QuerySession`).  ``"auto"`` (default)
+    behaves like ``"nodes"``; the batch runtime resolves it to
+    ``"flat"`` when a :class:`~repro.runtime.plan.QueryPlan` discards
+    graphs.  Both shapes carry the same information for queries and are
+    bit-identical with each other (``CTGraph.to_flat``); see
+    ``docs/perf.md``.
     """
 
     truncated_stay_policy: str = "lenient"
     precheck: str = "off"
     engine: str = "auto"
+    materialize: str = "auto"
 
     def __post_init__(self) -> None:
         if self.truncated_stay_policy not in TRUNCATED_STAY_POLICIES:
@@ -134,10 +154,18 @@ class CleaningOptions:
             raise ReadingSequenceError(
                 f"unknown engine {self.engine!r}; "
                 f"expected one of {ENGINES}")
+        if self.materialize not in MATERIALIZE_MODES:
+            raise ReadingSequenceError(
+                f"unknown materialize mode {self.materialize!r}; "
+                f"expected one of {MATERIALIZE_MODES}")
 
     @property
     def strict_truncation(self) -> bool:
         return self.truncated_stay_policy == "strict"
+
+    @property
+    def flat_materialize(self) -> bool:
+        return self.materialize == "flat"
 
 
 @dataclass
@@ -166,12 +194,15 @@ class CleaningStats:
 
 def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
                    options: CleaningOptions = CleaningOptions(), *,
-                   plan=None) -> CTGraph:
+                   plan=None) -> Union[CTGraph, FlatCTGraph]:
     """Run Algorithm 1: the ct-graph of ``lsequence`` under ``constraints``.
 
     Raises :class:`InconsistentReadingsError` when no trajectory compatible
     with the l-sequence satisfies the constraints (conditioning undefined).
     The returned graph carries its :class:`CleaningStats` as ``graph.stats``.
+    With ``CleaningOptions(materialize="flat")`` the result is the
+    columnar :class:`~repro.core.flatgraph.FlatCTGraph` instead of the
+    ``CTNode`` web — bit-identical to ``.to_flat()`` of the node graph.
 
     ``plan`` is an optional
     :class:`repro.runtime.SharedCleaningPlan` (or any object with the same
@@ -345,8 +376,13 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
         source_probabilities[node] /= total
 
     stats.backward_seconds = time.perf_counter() - backward_started
-    return CTGraph([tuple(level.values()) for level in levels],
-                   source_probabilities, stats=stats)
+    graph = CTGraph([tuple(level.values()) for level in levels],
+                    source_probabilities, stats=stats)
+    if options.flat_materialize:
+        # The reference builder always materialises nodes; the flat form
+        # is a conversion here (the compact engine emits it natively).
+        return graph.to_flat()
+    return graph
 
 
 def _run_precheck(lsequence: LSequence, constraints: ConstraintSet,
@@ -377,7 +413,8 @@ def _run_precheck(lsequence: LSequence, constraints: ConstraintSet,
 
 
 def clean(readings: ReadingSequence, prior, constraints: ConstraintSet,
-          options: CleaningOptions = CleaningOptions()) -> CTGraph:
+          options: CleaningOptions = CleaningOptions()
+          ) -> Union[CTGraph, FlatCTGraph]:
     """End-to-end cleaning: readings -> l-sequence -> conditioned ct-graph.
 
     ``prior`` is anything with a ``distribution(readers)`` method, normally

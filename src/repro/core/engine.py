@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.algorithm import CleaningOptions, CleaningStats, _run_precheck
 from repro.core.constraints import ConstraintSet
 from repro.core.ctgraph import CTGraph, CTNode
+from repro.core.flatgraph import FlatCTGraph
 from repro.core.lsequence import LSequence
 from repro.core.nodes import _advance_stay, initial_stay
 from repro.errors import ReadingSequenceError, ZeroMassError
@@ -533,6 +534,87 @@ def build_ct_graph_compact(lsequence: LSequence, constraints: ConstraintSet,
         level_masses[tau] = mass_row
     stats.nodes_removed = nodes_removed
     stats.edges_removed = edges_removed
+
+    if options.flat_materialize:
+        # ------------------------------------------------------------------
+        # flat materialisation: the backward sweep's arrays become the
+        # FlatCTGraph directly — no CTNode is ever created.  Interning,
+        # node order, edge order and every conditioned float mirror the
+        # node path + ``to_flat()`` exactly (pinned by the parity suite).
+        # ------------------------------------------------------------------
+        flat_ids: Dict[int, int] = {}
+        flat_names: List[str] = []
+        flat_locations: List[Tuple[int, ...]] = []
+        flat_stays: List[Tuple[Optional[int], ...]] = []
+        index_maps: List[List[int]] = []
+        for tau in range(duration):
+            sids = level_sids[tau]
+            # A node is dead iff its *pre-rescale* mass was <= 0 — the
+            # criterion the node path uses too.
+            mass_row = level_masses[tau] if tau != last else None
+            loc_row: List[int] = []
+            stay_row: List[Optional[int]] = []
+            index_map = [-1] * len(sids)
+            for i, sid in enumerate(sids):
+                if mass_row is not None and mass_row[i] <= 0.0:
+                    continue
+                lid, stay, _rel_deps = states[sid]
+                fid = flat_ids.get(lid)
+                if fid is None:
+                    fid = len(flat_names)
+                    flat_ids[lid] = fid
+                    flat_names.append(names[lid])
+                index_map[i] = len(loc_row)
+                loc_row.append(fid)
+                stay_row.append(stay)
+            flat_locations.append(tuple(loc_row))
+            flat_stays.append(tuple(stay_row))
+            index_maps.append(index_map)
+        flat_offsets: List[Tuple[int, ...]] = []
+        flat_children: List[Tuple[int, ...]] = []
+        flat_probabilities: List[Tuple[float, ...]] = []
+        for tau in range(duration - 1):
+            edge_offsets = level_offsets[tau]
+            mass_row = level_masses[tau]
+            child_map = index_maps[tau + 1]
+            child_survival = survivals[tau + 1]
+            offsets: List[int] = [0]
+            children: List[int] = []
+            probabilities: List[float] = []
+            for i in range(len(level_sids[tau])):
+                mass = mass_row[i]
+                if mass <= 0.0:
+                    continue
+                for e in range(edge_offsets[i], edge_offsets[i + 1]):
+                    child_index = all_children[e]
+                    # An edge survives with its (alive) parent iff the
+                    # child is alive, even when the conditioned weight
+                    # underflows to 0.0.
+                    if child_survival[child_index] > 0.0:
+                        children.append(child_map[child_index])
+                        probabilities.append(weights[e] / mass)
+                offsets.append(len(children))
+            flat_offsets.append(tuple(offsets))
+            flat_children.append(tuple(children))
+            flat_probabilities.append(tuple(probabilities))
+        survival_row = survivals[0]
+        source_row = [prior_probabilities[i] * survival_row[i]
+                      for i in range(len(level_sids[0]))
+                      if index_maps[0][i] >= 0]
+        total = math.fsum(source_row)
+        if total <= 0.0:
+            raise ZeroMassError(
+                "the valid trajectories have zero total prior probability")
+        stats.backward_seconds = time.perf_counter() - backward_started
+        return FlatCTGraph(
+            location_names=tuple(flat_names),
+            locations=tuple(flat_locations),
+            stays=tuple(flat_stays),
+            edge_offsets=tuple(flat_offsets),
+            edge_children=tuple(flat_children),
+            edge_probabilities=tuple(flat_probabilities),
+            source_probabilities=tuple(p / total for p in source_row),
+            stats=stats)
 
     # ------------------------------------------------------------------
     # materialisation: surviving nodes and edges, reference order

@@ -22,6 +22,8 @@ from repro.queries.analytics import (
     expected_visit_counts,
     first_visit_distribution,
     most_likely_trajectory,
+    span_probability,
+    time_at_location_distribution,
     top_k_trajectories,
     uncertainty_reduction,
     visit_probability,
@@ -32,12 +34,17 @@ from repro.queries.meeting import (
     meeting_time_distribution,
 )
 from repro.queries.pattern import Pattern, PatternAtom
+from repro.queries.ql import QueryResult, execute
+from repro.queries.session import QuerySession
 from repro.queries.stay import stay_query, stay_query_prior
 from repro.queries.trajectory import TrajectoryQuery
 
 __all__ = [
     "Pattern",
     "PatternAtom",
+    "QueryResult",
+    "QuerySession",
+    "execute",
     "stay_query",
     "stay_query_prior",
     "TrajectoryQuery",
@@ -50,6 +57,8 @@ __all__ = [
     "uncertainty_reduction",
     "expected_visit_counts",
     "visit_probability",
+    "span_probability",
+    "time_at_location_distribution",
     "first_visit_distribution",
     "meeting_probability",
     "meeting_time_distribution",

@@ -43,29 +43,64 @@ __all__ = [
 # MAP trajectory and top-k
 # ----------------------------------------------------------------------
 
+def _lex_ranks(keys: Dict[CTNode, object]) -> Dict[CTNode, int]:
+    """Dense lexicographic ranks of each node's best prefix key.
+
+    Rank order ≡ lexicographic order of the full best prefixes: a level's
+    keys are ``(parent rank, location)`` pairs (plain locations at level
+    0) and all prefixes at a level share a length, so comparing keys
+    compares the prefixes themselves.
+    """
+    order = {key: rank
+             for rank, key in enumerate(sorted(set(keys.values())))}  # type: ignore[type-var]
+    return {node: order[key] for node, key in keys.items()}
+
+
 def most_likely_trajectory(graph: CTGraph) -> Tuple[Trajectory, float]:
-    """The maximum-probability valid trajectory (Viterbi over the graph)."""
+    """The maximum-probability valid trajectory (Viterbi over the graph).
+
+    Ties are broken deterministically: among equal-probability MAP paths
+    the lexicographically smallest location sequence wins, independent of
+    node/dict iteration order.  The flat path
+    (:meth:`repro.queries.session.QuerySession.most_likely_trajectory`)
+    breaks ties identically.
+    """
     best: Dict[CTNode, Tuple[float, Optional[CTNode]]] = {}
+    keys: Dict[CTNode, object] = {}
     for source in graph.sources:
         probability = graph.source_probability(source)
         if probability > 0.0:
             best[source] = (probability, None)
+            keys[source] = source.location
+    ranks = _lex_ranks(keys)
     for tau in range(graph.duration - 1):
+        next_keys: Dict[CTNode, object] = {}
         for node in graph.level(tau):
             entry = best.get(node)
             if entry is None:
                 continue
             mass = entry[0]
+            rank = ranks[node]
             for child, probability in node.edges.items():
                 candidate = mass * probability
+                key = (rank, child.location)
                 current = best.get(child)
-                if current is None or candidate > current[0]:
+                if (current is None or candidate > current[0]
+                        or (candidate == current[0]
+                            and key < next_keys[child])):  # type: ignore[operator]
                     best[child] = (candidate, node)
+                    next_keys[child] = key
+        ranks = _lex_ranks(next_keys)
 
-    terminal = max(
-        (node for node in graph.targets if node in best),
-        key=lambda node: best[node][0],
-        default=None)
+    terminal: Optional[CTNode] = None
+    for node in graph.targets:
+        entry = best.get(node)
+        if entry is None:
+            continue
+        if (terminal is None or entry[0] > best[terminal][0]
+                or (entry[0] == best[terminal][0]
+                    and ranks[node] < ranks[terminal])):
+            terminal = node
     if terminal is None:
         raise QueryError("graph has no positive-probability path")
     steps: List[str] = []
@@ -78,12 +113,23 @@ def most_likely_trajectory(graph: CTGraph) -> Tuple[Trajectory, float]:
 
 
 def top_k_trajectories(graph: CTGraph, k: int) -> List[Tuple[Trajectory, float]]:
-    """The ``k`` most probable valid trajectories, most probable first.
+    """The most probable valid trajectories, most probable first.
+
+    Contract: returns exactly ``min(k, graph.num_valid_trajectories())``
+    entries — a graph with fewer than ``k`` valid trajectories yields them
+    all, never an error and never padding.  Equal-probability trajectories
+    are returned in discovery order (level order, then edge insertion
+    order), which is identical in the object and flat paths.
 
     Best-first search over path prefixes, guided by the exact
     probability-to-go upper bound ``best_suffix`` (the Viterbi value of
     each node's best completion) — so only prefixes that can still reach
-    the frontier of the answer set are expanded.
+    the frontier of the answer set are expanded.  Each node is expanded at
+    most ``k`` times: the ``i``-th pop of a node carries its ``i``-th best
+    prefix, so once ``k`` prefixes have reached a node, every later prefix
+    through it is dominated by ``k`` earlier-ordered completions and can
+    be discarded.  That bounds the heap at ``O(k * edges)`` entries
+    regardless of how many valid trajectories exist.
     """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
@@ -109,8 +155,13 @@ def top_k_trajectories(graph: CTGraph, k: int) -> List[Tuple[Trajectory, float]]
         counter += 1
 
     results: List[Tuple[Trajectory, float]] = []
+    pops: Dict[CTNode, int] = {}
     while heap and len(results) < k:
         negative_bound, _, node, prefix, mass = heapq.heappop(heap)
+        popped = pops.get(node, 0)
+        if popped >= k:
+            continue
+        pops[node] = popped + 1
         if not node.edges:
             if node.tau == graph.duration - 1:
                 results.append((prefix, mass))

@@ -1,0 +1,520 @@
+"""Shared-pass query sessions over the flat (columnar) ct-graph form.
+
+Every function in :mod:`repro.queries.analytics` walks the ``CTNode`` web
+independently, and most begin with the same forward pass.  A
+:class:`QuerySession` wraps a :class:`~repro.core.flatgraph.FlatCTGraph`
+and computes the shared sweeps **once** as flat arrays:
+
+* the forward (alpha) pass — per-level node-marginal arrays feeding
+  :meth:`~QuerySession.location_marginal`,
+  :meth:`~QuerySession.entropy_profile`,
+  :meth:`~QuerySession.expected_visit_counts` and
+  :meth:`~QuerySession.span_probability`;
+* the backward max-product (best-suffix) pass feeding
+  :meth:`~QuerySession.top_k_trajectories`.  (The *sum-product* betas of a
+  conditioned ct-graph are identically 1 — every outgoing row is a
+  distribution — so max-product is the backward sweep worth sharing.)
+
+Each query is then index arithmetic over tuples instead of dict lookups
+over node objects.  Results are **bit-exact** with the object-path
+implementations: the DPs replicate the reference iteration order (level
+order, edge insertion order), its skip criteria (``mass == 0.0`` forward
+skips, ``> 0.0`` emission filters) and its accumulation patterns
+(``get(key, 0.0) + flow`` chains start at ``0.0`` exactly like fresh
+array slots), so every float comes out identical.  Where presence of an
+underflowed ``0.0`` entry affects a result dict's keys
+(:meth:`first_visit_distribution`, :meth:`span_probability`,
+:meth:`time_at_location_distribution`, the meeting DPs), the session keeps
+the DP frontier in dicts keyed by node *index*, preserving insertion-order
+semantics.  The hypothesis suite in ``tests/test_queries_flat.py`` pins
+the parity query-by-query.
+
+``most_likely_trajectory`` and ``top_k_trajectories`` share the
+deterministic lexicographic tie-break with the object path (see
+:func:`repro.queries.analytics.most_likely_trajectory`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.ctgraph import CTGraph
+from repro.core.flatgraph import FlatCTGraph
+from repro.core.lsequence import Trajectory
+from repro.errors import QueryError
+from repro.queries.pattern import Pattern
+from repro.queries.trajectory import TrajectoryQuery
+
+__all__ = ["QuerySession"]
+
+
+class QuerySession:
+    """Cached query evaluation over one flat ct-graph.
+
+    Construct it from a :class:`FlatCTGraph` (free) or a :class:`CTGraph`
+    (converted via :meth:`~repro.core.ctgraph.CTGraph.to_flat`).  The
+    session is cheap to build — sweeps run lazily on first use and are
+    cached, so asking eight queries costs one forward pass, not eight.
+    Sessions are not thread-safe (caches are plain dicts).
+    """
+
+    def __init__(self, graph: Union[CTGraph, FlatCTGraph]) -> None:
+        if isinstance(graph, CTGraph):
+            graph = graph.to_flat()
+        self.graph = graph
+        self._alphas: Optional[List[List[float]]] = None
+        self._suffixes: Optional[List[List[float]]] = None
+        self._marginals: Dict[int, Dict[str, float]] = {}
+        self._entropies: Optional[List[float]] = None
+        self._visit_counts: Optional[Dict[str, float]] = None
+        self._map: Optional[Tuple[Trajectory, float]] = None
+
+    @classmethod
+    def ensure(cls, graph: Union[CTGraph, FlatCTGraph,
+                                 "QuerySession"]) -> "QuerySession":
+        """``graph`` as a session, wrapping it if necessary."""
+        if isinstance(graph, QuerySession):
+            return graph
+        return cls(graph)
+
+    # ------------------------------------------------------------------
+    # shared sweeps
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> int:
+        return self.graph.duration
+
+    def alphas(self) -> List[List[float]]:
+        """The forward pass: P(trajectory passes through node), per level.
+
+        The flat mirror of :meth:`CTGraph.node_marginals` — same skip
+        criterion (``mass == 0.0``), same accumulation order.
+        """
+        if self._alphas is None:
+            graph = self.graph
+            rows: List[List[float]] = [list(graph.source_probabilities)]
+            for tau in range(graph.duration - 1):
+                offsets = graph.edge_offsets[tau]
+                children = graph.edge_children[tau]
+                probabilities = graph.edge_probabilities[tau]
+                row = rows[tau]
+                next_row = [0.0] * len(graph.locations[tau + 1])
+                for i in range(len(row)):
+                    mass = row[i]
+                    if mass == 0.0:
+                        continue
+                    for e in range(offsets[i], offsets[i + 1]):
+                        next_row[children[e]] += mass * probabilities[e]
+                rows.append(next_row)
+            self._alphas = rows
+        return self._alphas
+
+    def _best_suffixes(self) -> List[List[float]]:
+        """Max-product backward pass: each node's best completion value."""
+        if self._suffixes is None:
+            graph = self.graph
+            rows: List[List[float]] = [[]] * graph.duration
+            rows[-1] = [1.0] * len(graph.locations[-1])
+            for tau in range(graph.duration - 2, -1, -1):
+                offsets = graph.edge_offsets[tau]
+                children = graph.edge_children[tau]
+                probabilities = graph.edge_probabilities[tau]
+                next_row = rows[tau + 1]
+                row = [0.0] * len(graph.locations[tau])
+                for i in range(len(row)):
+                    best = 0.0
+                    for e in range(offsets[i], offsets[i + 1]):
+                        value = probabilities[e] * next_row[children[e]]
+                        if value > best:
+                            best = value
+                    row[i] = best
+                rows[tau] = row
+            self._suffixes = rows
+        return self._suffixes
+
+    # ------------------------------------------------------------------
+    # marginal family (all off the shared alphas)
+    # ------------------------------------------------------------------
+    def location_marginal(self, tau: int) -> Dict[str, float]:
+        """The distribution of the object's location at timestep ``tau``."""
+        cached = self._marginals.get(tau)
+        if cached is not None:
+            return cached
+        graph = self.graph
+        if not 0 <= tau < graph.duration:
+            raise QueryError(f"timestep {tau} outside [0, {graph.duration})")
+        names = graph.location_names
+        lids = graph.locations[tau]
+        row = self.alphas()[tau]
+        result: Dict[str, float] = {}
+        for i in range(len(lids)):
+            mass = row[i]
+            if mass > 0.0:
+                name = names[lids[i]]
+                result[name] = result.get(name, 0.0) + mass
+        self._marginals[tau] = result
+        return result
+
+    def entropy_profile(self) -> List[float]:
+        """Shannon entropy (bits) of the location marginal, per step."""
+        if self._entropies is None:
+            self._entropies = [_entropy(self.location_marginal(tau))
+                               for tau in range(self.duration)]
+        return self._entropies
+
+    def expected_visit_counts(self) -> Dict[str, float]:
+        """Expected number of timesteps spent at each location."""
+        if self._visit_counts is None:
+            totals: Dict[str, float] = {}
+            for tau in range(self.duration):
+                for location, probability in \
+                        self.location_marginal(tau).items():
+                    totals[location] = (totals.get(location, 0.0)
+                                        + probability)
+            self._visit_counts = totals
+        return self._visit_counts
+
+    # ------------------------------------------------------------------
+    # visit statistics
+    # ------------------------------------------------------------------
+    def visit_probability(self, location: str) -> float:
+        """P(the object is at ``location`` at some timestep)."""
+        graph = self.graph
+        names = graph.location_names
+        lids = graph.locations[0]
+        # Avoidance flow never goes negative, so dropping the reference's
+        # explicit 0.0-mass dict entries cannot change any float
+        # (x + 0.0 == x and 0.0 * p == 0.0 for the values involved).
+        row = [graph.source_probabilities[i]
+               if (names[lids[i]] != location
+                   and graph.source_probabilities[i] > 0.0) else 0.0
+               for i in range(len(lids))]
+        for tau in range(graph.duration - 1):
+            offsets = graph.edge_offsets[tau]
+            children = graph.edge_children[tau]
+            probabilities = graph.edge_probabilities[tau]
+            next_lids = graph.locations[tau + 1]
+            next_row = [0.0] * len(next_lids)
+            for i in range(len(row)):
+                mass = row[i]
+                if mass == 0.0:
+                    continue
+                for e in range(offsets[i], offsets[i + 1]):
+                    child = children[e]
+                    if names[next_lids[child]] == location:
+                        continue
+                    next_row[child] += mass * probabilities[e]
+            row = next_row
+        return min(1.0, max(0.0, 1.0 - sum(row)))
+
+    def span_probability(self, location: str, start: int, end: int) -> float:
+        """P(the object is at ``location`` throughout ``[start, end]``)."""
+        graph = self.graph
+        if not 0 <= start <= end < graph.duration:
+            raise QueryError(
+                f"window [{start}, {end}] outside the graph's [0, "
+                f"{graph.duration})")
+        names = graph.location_names
+        alphas = self.alphas()[start]
+        lids = graph.locations[start]
+        inside: Dict[int, float] = {}
+        for i in range(len(lids)):
+            if names[lids[i]] == location:
+                mass = alphas[i]
+                if mass > 0.0:
+                    inside[i] = mass
+        for tau in range(start, end):
+            offsets = graph.edge_offsets[tau]
+            children = graph.edge_children[tau]
+            probabilities = graph.edge_probabilities[tau]
+            next_lids = graph.locations[tau + 1]
+            step: Dict[int, float] = {}
+            for i, mass in inside.items():
+                for e in range(offsets[i], offsets[i + 1]):
+                    child = children[e]
+                    if names[next_lids[child]] == location:
+                        step[child] = (step.get(child, 0.0)
+                                       + mass * probabilities[e])
+            inside = step
+            if not inside:
+                return 0.0
+        return min(1.0, sum(inside.values()))
+
+    def time_at_location_distribution(self,
+                                      location: str) -> Dict[int, float]:
+        """The distribution of the *total* time spent at ``location``."""
+        graph = self.graph
+        names = graph.location_names
+        lids = graph.locations[0]
+        histograms: Dict[int, Dict[int, float]] = {}
+        for i in range(len(lids)):
+            mass = graph.source_probabilities[i]
+            if mass <= 0.0:
+                continue
+            count = 1 if names[lids[i]] == location else 0
+            histograms[i] = {count: mass}
+        for tau in range(graph.duration - 1):
+            offsets = graph.edge_offsets[tau]
+            children = graph.edge_children[tau]
+            probabilities = graph.edge_probabilities[tau]
+            next_lids = graph.locations[tau + 1]
+            step: Dict[int, Dict[int, float]] = {}
+            for i in range(len(graph.locations[tau])):
+                histogram = histograms.get(i)
+                if not histogram:
+                    continue
+                for e in range(offsets[i], offsets[i + 1]):
+                    child = children[e]
+                    probability = probabilities[e]
+                    bump = 1 if names[next_lids[child]] == location else 0
+                    target = step.setdefault(child, {})
+                    for count, mass in histogram.items():
+                        key = count + bump
+                        target[key] = (target.get(key, 0.0)
+                                       + mass * probability)
+            histograms = step
+        result: Dict[int, float] = {}
+        for i in range(len(graph.locations[-1])):
+            for count, mass in histograms.get(i, {}).items():
+                result[count] = result.get(count, 0.0) + mass
+        return result
+
+    def first_visit_distribution(self, location: str) -> Dict[int, float]:
+        """P(first visit to ``location`` happens at timestep ``tau``)."""
+        graph = self.graph
+        names = graph.location_names
+        lids = graph.locations[0]
+        first: Dict[int, float] = {}
+        pending: Dict[int, float] = {}
+        for i in range(len(lids)):
+            mass = graph.source_probabilities[i]
+            if mass <= 0.0:
+                continue
+            if names[lids[i]] == location:
+                first[0] = first.get(0, 0.0) + mass
+            else:
+                pending[i] = mass
+        for tau in range(graph.duration - 1):
+            offsets = graph.edge_offsets[tau]
+            children = graph.edge_children[tau]
+            probabilities = graph.edge_probabilities[tau]
+            next_lids = graph.locations[tau + 1]
+            step: Dict[int, float] = {}
+            for i in range(len(graph.locations[tau])):
+                mass = pending.get(i)
+                if mass is None:
+                    continue
+                for e in range(offsets[i], offsets[i + 1]):
+                    child = children[e]
+                    flow = mass * probabilities[e]
+                    if names[next_lids[child]] == location:
+                        first[tau + 1] = first.get(tau + 1, 0.0) + flow
+                    else:
+                        step[child] = step.get(child, 0.0) + flow
+            pending = step
+        return first
+
+    # ------------------------------------------------------------------
+    # trajectory extraction
+    # ------------------------------------------------------------------
+    def most_likely_trajectory(self) -> Tuple[Trajectory, float]:
+        """The MAP trajectory, ties broken lexicographically.
+
+        The flat mirror of
+        :func:`repro.queries.analytics.most_likely_trajectory` — identical
+        probabilities and identical tie-breaks, pinned by the parity
+        suite.
+        """
+        if self._map is not None:
+            return self._map
+        graph = self.graph
+        names = graph.location_names
+        # Lexicographic keys are packed into small ints: with ``name_rank``
+        # a dense rank order-isomorphic to the name strings and per-level
+        # prefix ranks dense in [0, level size), the tuple key
+        # ``(prefix_rank, name)`` maps to ``prefix_rank * L + name_rank``
+        # order-preservingly — int compares instead of tuple/str compares.
+        width = len(names)
+        name_rank = [0] * width
+        for rank, lid in enumerate(sorted(range(width),
+                                          key=names.__getitem__)):
+            name_rank[lid] = rank
+        lids = graph.locations[0]
+        count = len(lids)
+        value = [0.0] * count
+        parent = [-1] * count
+        present = [False] * count
+        keys = [-1] * count
+        for i in range(count):
+            probability = graph.source_probabilities[i]
+            if probability > 0.0:
+                value[i] = probability
+                present[i] = True
+                keys[i] = name_rank[lids[i]]
+        ranks = _lex_ranks(present, keys)
+        values: List[List[float]] = [value]
+        parents: List[List[int]] = [parent]
+        presents: List[List[bool]] = [present]
+        for tau in range(graph.duration - 1):
+            offsets = graph.edge_offsets[tau]
+            children = graph.edge_children[tau]
+            probabilities = graph.edge_probabilities[tau]
+            next_lids = graph.locations[tau + 1]
+            next_count = len(next_lids)
+            value = [0.0] * next_count
+            parent = [-1] * next_count
+            next_present = [False] * next_count
+            keys = [-1] * next_count
+            row = values[tau]
+            row_present = presents[tau]
+            for i in range(len(row)):
+                if not row_present[i]:
+                    continue
+                mass = row[i]
+                base = ranks[i] * width
+                for e in range(offsets[i], offsets[i + 1]):
+                    child = children[e]
+                    candidate = mass * probabilities[e]
+                    key = base + name_rank[next_lids[child]]
+                    if (not next_present[child]
+                            or candidate > value[child]
+                            or (candidate == value[child]
+                                and key < keys[child])):
+                        value[child] = candidate
+                        parent[child] = i
+                        next_present[child] = True
+                        keys[child] = key
+            ranks = _lex_ranks(next_present, keys)
+            values.append(value)
+            parents.append(parent)
+            presents.append(next_present)
+        terminal = -1
+        last_values = values[-1]
+        last_present = presents[-1]
+        for i in range(len(last_values)):
+            if not last_present[i]:
+                continue
+            if (terminal < 0 or last_values[i] > last_values[terminal]
+                    or (last_values[i] == last_values[terminal]
+                        and ranks[i] < ranks[terminal])):
+                terminal = i
+        if terminal < 0:
+            raise QueryError("graph has no positive-probability path")
+        steps: List[str] = []
+        index = terminal
+        for tau in range(graph.duration - 1, -1, -1):
+            steps.append(names[graph.locations[tau][index]])
+            index = parents[tau][index]
+        steps.reverse()
+        self._map = (tuple(steps), last_values[terminal])
+        return self._map
+
+    def top_k_trajectories(self, k: int) -> List[Tuple[Trajectory, float]]:
+        """The ``min(k, num_valid_trajectories())`` most probable valid
+        trajectories, most probable first.
+
+        Flat mirror of :func:`repro.queries.analytics.top_k_trajectories`
+        — same best-first expansion order (bounds, then insertion order),
+        same per-node pop cap, identical results.  Partial trajectories
+        live on the heap as cons chains ``(name, parent_chain)`` rather
+        than tuples, so a push costs O(1) instead of O(duration); the
+        heap never compares chains (``counter`` is unique), and only the
+        ``min(k, ...)`` emitted results pay the unwind.
+        """
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        graph = self.graph
+        names = graph.location_names
+        suffixes = self._best_suffixes()
+        last = graph.duration - 1
+        all_offsets = graph.edge_offsets
+        all_children = graph.edge_children
+        all_probabilities = graph.edge_probabilities
+        all_locations = graph.locations
+        push = heapq.heappush
+        pop = heapq.heappop
+        # Node identity ``tau * width + index`` packed into one int — used
+        # both as the heap entry's node field and the pop-cap key.
+        width = max(len(level) for level in all_locations)
+        # Entries are (-bound, counter, node_key, chain, mass).
+        heap: List[Tuple[float, int, int, tuple, float]] = []
+        counter = 0
+        lids = all_locations[0]
+        suffix_row = suffixes[0]
+        for i in range(len(lids)):
+            mass = graph.source_probabilities[i]
+            if mass <= 0.0:
+                continue
+            bound = mass * suffix_row[i]
+            push(heap, (-bound, counter, i, (names[lids[i]], None), mass))
+            counter += 1
+        results: List[Tuple[Trajectory, float]] = []
+        pops: Dict[int, int] = {}
+        pops_get = pops.get
+        remaining = k
+        while heap and remaining:
+            _, _, node_key, chain, mass = pop(heap)
+            popped = pops_get(node_key, 0)
+            if popped >= k:
+                continue
+            pops[node_key] = popped + 1
+            tau, index = divmod(node_key, width)
+            if tau == last:
+                reversed_path: List[str] = []
+                link: Optional[tuple] = chain
+                while link is not None:
+                    reversed_path.append(link[0])
+                    link = link[1]
+                results.append((tuple(reversed(reversed_path)), mass))
+                remaining -= 1
+                continue
+            offsets = all_offsets[tau]
+            children = all_children[tau]
+            probabilities = all_probabilities[tau]
+            next_lids = all_locations[tau + 1]
+            next_suffixes = suffixes[tau + 1]
+            next_base = (tau + 1) * width
+            for e in range(offsets[index], offsets[index + 1]):
+                child = children[e]
+                child_mass = mass * probabilities[e]
+                bound = child_mass * next_suffixes[child]
+                if bound <= 0.0:
+                    continue
+                push(heap, (-bound, counter, next_base + child,
+                            (names[next_lids[child]], chain), child_mass))
+                counter += 1
+        return results
+
+    # ------------------------------------------------------------------
+    # pattern matching
+    # ------------------------------------------------------------------
+    def match_probability(self, pattern: Union[Pattern, str,
+                                               TrajectoryQuery]) -> float:
+        """P(the cleaned trajectory matches the pattern)."""
+        query = (pattern if isinstance(pattern, TrajectoryQuery)
+                 else TrajectoryQuery(pattern))
+        return query.probability(self.graph)
+
+    def __repr__(self) -> str:
+        return f"QuerySession({self.graph!r})"
+
+
+def _entropy(distribution: Dict[str, float]) -> float:
+    # Same expression as repro.queries.analytics._entropy (kept local to
+    # avoid an import cycle); identical floats by construction.
+    return -sum(p * math.log2(p) for p in distribution.values() if p > 0.0)
+
+
+def _lex_ranks(present: List[bool], keys: List[object]) -> List[int]:
+    """Dense lexicographic ranks of the present nodes' prefix keys.
+
+    Rank order ≡ lexicographic order of the full best prefixes, because
+    every level's keys are (parent rank, location) pairs and all prefixes
+    at a level share a length.
+    """
+    order = {key: rank for rank, key in enumerate(
+        sorted({keys[i] for i in range(len(keys)) if present[i]}))}  # type: ignore[type-var]
+    return [order[keys[i]] if present[i] else -1
+            for i in range(len(keys))]

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, Sequence, Tuple, Union
 
 from repro.core.ctgraph import CTGraph, CTNode
+from repro.core.flatgraph import FlatCTGraph
 from repro.core.lsequence import LSequence
 from repro.queries.pattern import Pattern
 
@@ -33,8 +34,15 @@ class TrajectoryQuery:
         self._dfa = self.pattern.dfa()
 
     # ------------------------------------------------------------------
-    def probability(self, graph: CTGraph) -> float:
-        """P(the cleaned trajectory matches the pattern)."""
+    def probability(self, graph: Union[CTGraph, FlatCTGraph]) -> float:
+        """P(the cleaned trajectory matches the pattern).
+
+        Accepts the node form or the flat form; the two DPs visit
+        ``(node, DFA state)`` pairs in the same order and produce
+        bit-identical probabilities.
+        """
+        if isinstance(graph, FlatCTGraph):
+            return self._probability_flat(graph)
         dfa = self._dfa
         # forward[(node, dfa_state)] = accumulated probability mass.
         forward: Dict[Tuple[CTNode, int], float] = {}
@@ -59,6 +67,47 @@ class TrajectoryQuery:
 
         return sum(mass for (node, state), mass in forward.items()
                    if state in dfa.accepting)
+
+    def _probability_flat(self, graph: FlatCTGraph) -> float:
+        dfa = self._dfa
+        # The DFA transition per interned location id, computed once, and
+        # ``(node index, dfa state)`` frontier keys packed into one int
+        # (``index * num_states + state``) — the packing is a bijection,
+        # so insertion order and float accumulation match the tuple-keyed
+        # object path exactly.
+        symbols = [dfa.symbol(name) for name in graph.location_names]
+        transitions = dfa.transitions
+        num_states = len(transitions)
+        lids = graph.locations[0]
+        forward: Dict[int, float] = {}
+        for i in range(len(lids)):
+            mass = graph.source_probabilities[i]
+            if mass <= 0.0:
+                continue
+            state = transitions[dfa.start][symbols[lids[i]]]
+            key = i * num_states + state
+            forward[key] = forward.get(key, 0.0) + mass
+
+        for tau in range(graph.duration - 1):
+            offsets = graph.edge_offsets[tau]
+            children = graph.edge_children[tau]
+            probabilities = graph.edge_probabilities[tau]
+            next_lids = graph.locations[tau + 1]
+            step: Dict[int, float] = {}
+            step_get = step.get
+            for key, mass in forward.items():
+                i, state = divmod(key, num_states)
+                row = transitions[state]
+                for e in range(offsets[i], offsets[i + 1]):
+                    child = children[e]
+                    next_key = (child * num_states
+                                + row[symbols[next_lids[child]]])
+                    step[next_key] = (step_get(next_key, 0.0)
+                                      + mass * probabilities[e])
+            forward = step
+
+        return sum(mass for key, mass in forward.items()
+                   if key % num_states in dfa.accepting)
 
     def probability_prior(self, lsequence: LSequence) -> float:
         """P(match) under the raw independence-assumption interpretation."""

@@ -14,12 +14,13 @@ from repro.runtime.batch import (
     BatchResult,
     clean_many,
 )
-from repro.runtime.plan import SharedCleaningPlan
+from repro.runtime.plan import QueryPlan, SharedCleaningPlan
 
 __all__ = [
     "BatchCleaner",
     "BatchOutcome",
     "BatchResult",
+    "QueryPlan",
     "SharedCleaningPlan",
     "clean_many",
 ]

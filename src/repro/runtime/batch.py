@@ -67,6 +67,7 @@ from typing import (
 from repro.core.algorithm import CleaningOptions, CleaningStats, build_ct_graph
 from repro.core.constraints import ConstraintSet
 from repro.core.ctgraph import CTGraph
+from repro.core.flatgraph import FlatCTGraph
 from repro.core.lsequence import LSequence, ReadingSequence
 from repro.errors import (
     BatchConfigurationError,
@@ -75,9 +76,14 @@ from repro.errors import (
     ReproError,
     WorkerCrashError,
 )
-from repro.runtime.plan import SharedCleaningPlan
+from repro.queries.ql import QueryResult, execute as _execute_statement
+from repro.queries.session import QuerySession
+from repro.runtime.plan import QueryPlan, SharedCleaningPlan
 
 __all__ = ["BatchOutcome", "BatchResult", "BatchCleaner", "clean_many"]
+
+#: Either materialised form a batch outcome can carry.
+GraphLike = Union[CTGraph, FlatCTGraph]
 
 #: What the batch accepts per object: an interpreted l-sequence, or raw
 #: readings (interpreted in the worker through the cleaner's ``prior``).
@@ -88,22 +94,30 @@ SequenceLike = Union[LSequence, ReadingSequence]
 class BatchOutcome:
     """The result of cleaning one object of a batch.
 
-    Exactly one of ``graph`` / ``error`` is set.  Failed outcomes carry the
-    exception's class name and message rather than the exception object —
-    stable under pickling and enough to triage (``rfid-ctg analyze``
-    locates a contradiction; ``WorkerCrashError`` / ``CleaningTimeoutError``
-    name the runtime-level faults).
+    Failed outcomes carry the exception's class name and message rather
+    than the exception object — stable under pickling and enough to triage
+    (``rfid-ctg analyze`` locates a contradiction; ``WorkerCrashError`` /
+    ``CleaningTimeoutError`` name the runtime-level faults).  Successful
+    outcomes carry the graph (node or flat form, per
+    ``CleaningOptions.materialize``) — unless the batch ran with a
+    :class:`~repro.runtime.plan.QueryPlan` that discards graphs, in which
+    case ``queries`` holds the per-statement results and ``graph`` is
+    ``None`` by design (``ok`` is therefore defined by the *absence of an
+    error*, not by the presence of a graph).
     """
 
     index: int
-    graph: Optional[CTGraph] = None
+    graph: Optional[GraphLike] = None
     error_type: Optional[str] = None
     error: Optional[str] = None
     seconds: float = 0.0
+    #: Per-statement results of the batch's ``QueryPlan`` (``None`` when
+    #: the batch ran without one, or for failed outcomes).
+    queries: Optional[Tuple[QueryResult, ...]] = None
 
     @property
     def ok(self) -> bool:
-        return self.graph is not None
+        return self.error_type is None
 
     @property
     def stats(self) -> Optional[CleaningStats]:
@@ -133,8 +147,9 @@ class BatchResult:
         return self.outcomes[index]
 
     @property
-    def graphs(self) -> Tuple[Optional[CTGraph], ...]:
-        """Per-object graphs, ``None`` where cleaning failed."""
+    def graphs(self) -> Tuple[Optional[GraphLike], ...]:
+        """Per-object graphs, ``None`` where cleaning failed (or where a
+        graph-discarding :class:`~repro.runtime.plan.QueryPlan` ran)."""
         return tuple(outcome.graph for outcome in self.outcomes)
 
     @property
@@ -181,43 +196,64 @@ class BatchResult:
 _Task = Tuple[int, int, SequenceLike]
 
 #: Per-process state installed by the pool initializer: the plans (one per
-#: distinct constraint set), the options, and the optional prior.
+#: distinct constraint set), the options, the optional prior, and the
+#: optional query plan.
 _worker_state: Optional[Tuple[Dict[int, SharedCleaningPlan],
-                              CleaningOptions, Optional[object]]] = None
+                              CleaningOptions, Optional[object],
+                              Optional[QueryPlan]]] = None
 
 
 def _init_worker(table: Dict[int, ConstraintSet], options: CleaningOptions,
-                 prior: Optional[object], static_checked: bool) -> None:
+                 prior: Optional[object], static_checked: bool,
+                 query_plan: Optional[QueryPlan]) -> None:
     global _worker_state
     _worker_state = ({key: SharedCleaningPlan(constraints,
                                               static_checked=static_checked)
-                      for key, constraints in table.items()}, options, prior)
+                      for key, constraints in table.items()},
+                     options, prior, query_plan)
 
 
 def _clean_one(index: int, sequence: SequenceLike,
                plan: SharedCleaningPlan, options: CleaningOptions,
-               prior: Optional[object]) -> BatchOutcome:
+               prior: Optional[object],
+               query_plan: Optional[QueryPlan] = None) -> BatchOutcome:
     started = time.perf_counter()
     try:
         if isinstance(sequence, ReadingSequence):
             lsequence = LSequence.from_readings(sequence, prior)
         else:
             lsequence = sequence
-        graph = build_ct_graph(lsequence, plan.constraints, options,
-                               plan=plan)
+        if (query_plan is not None and not query_plan.keep_graphs
+                and options.materialize == "auto"):
+            # Nobody will see the graph — only the query results travel
+            # back — so "auto" resolves to the flat form: the compact
+            # engine skips CTNode materialisation and the QuerySession
+            # runs on the arrays directly.  An explicit materialize choice
+            # is respected (results are identical either way).
+            options = dataclasses.replace(options, materialize="flat")
+        graph: Optional[GraphLike] = build_ct_graph(
+            lsequence, plan.constraints, options, plan=plan)
+        queries: Optional[Tuple[QueryResult, ...]] = None
+        if query_plan is not None:
+            session = QuerySession(graph)
+            queries = tuple(_execute_statement(session, statement)
+                            for statement in query_plan.statements)
+            if not query_plan.keep_graphs:
+                graph = None
     except ReproError as error:
         return BatchOutcome(index=index, error_type=type(error).__name__,
                             error=str(error),
                             seconds=time.perf_counter() - started)
-    return BatchOutcome(index=index, graph=graph,
+    return BatchOutcome(index=index, graph=graph, queries=queries,
                         seconds=time.perf_counter() - started)
 
 
 def _worker_clean_chunk(chunk: Sequence[_Task]) -> List[BatchOutcome]:
     if _worker_state is None:
         raise RuntimeError("worker initializer did not run")
-    plans, options, prior = _worker_state
-    return [_clean_one(index, sequence, plans[key], options, prior)
+    plans, options, prior, query_plan = _worker_state
+    return [_clean_one(index, sequence, plans[key], options, prior,
+                       query_plan)
             for index, key, sequence in chunk]
 
 
@@ -278,7 +314,8 @@ class _PoolSupervisor:
                  options: CleaningOptions, prior: Optional[object],
                  workers: int, timeout_seconds: Optional[float],
                  max_retries: int, context,
-                 static_checked: bool) -> None:
+                 static_checked: bool,
+                 query_plan: Optional[QueryPlan] = None) -> None:
         self.table = table
         self.options = options
         self.prior = prior
@@ -287,6 +324,7 @@ class _PoolSupervisor:
         self.max_retries = max_retries
         self.context = context
         self.static_checked = static_checked
+        self.query_plan = query_plan
         self.respawns = 0
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -297,7 +335,7 @@ class _PoolSupervisor:
                 max_workers=self.workers, mp_context=self.context,
                 initializer=_init_worker,
                 initargs=(self.table, self.options, self.prior,
-                          self.static_checked))
+                          self.static_checked, self.query_plan))
 
     def _discard(self, kill: bool) -> None:
         """Drop the current pool; ``kill`` terminates still-busy workers
@@ -516,7 +554,8 @@ class BatchCleaner:
                  prior: Optional[object] = None,
                  timeout_seconds: Optional[float] = None,
                  max_retries: int = 1,
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 query_plan: Optional[QueryPlan] = None) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
@@ -536,7 +575,12 @@ class BatchCleaner:
             raise BatchConfigurationError(
                 f"start method {start_method!r} unavailable here; choose "
                 f"from {multiprocessing.get_all_start_methods()}")
+        if query_plan is not None and not isinstance(query_plan, QueryPlan):
+            raise BatchConfigurationError(
+                f"query_plan must be a QueryPlan, got "
+                f"{type(query_plan).__name__}")
         self._constraints = constraints
+        self.query_plan = query_plan
         self.options = options
         self.workers = workers
         self.chunk_size = chunk_size
@@ -598,7 +642,8 @@ class BatchCleaner:
             plans = {key: SharedCleaningPlan(constraints)
                      for key, constraints in table.items()}
             outcomes = [_clean_one(index, sequence, plans[key],
-                                   self.options, self.prior)
+                                   self.options, self.prior,
+                                   self.query_plan)
                         for index, key, sequence in tasks]
         else:
             static_checked = False
@@ -616,7 +661,8 @@ class BatchCleaner:
                 workers=workers, timeout_seconds=self.timeout_seconds,
                 max_retries=self.max_retries,
                 context=_pool_context(self.start_method),
-                static_checked=static_checked)
+                static_checked=static_checked,
+                query_plan=self.query_plan)
             try:
                 by_index = supervisor.run(chunks)
             finally:
@@ -641,14 +687,20 @@ def clean_many(sequences: Sequence[SequenceLike],
                prior: Optional[object] = None,
                timeout_seconds: Optional[float] = None,
                max_retries: int = 1,
-               start_method: Optional[str] = None) -> BatchResult:
+               start_method: Optional[str] = None,
+               query_plan: Optional[QueryPlan] = None) -> BatchResult:
     """Clean a collection of objects, optionally across worker processes.
 
     The one-call form of :class:`BatchCleaner` — see its docstring for the
     parameter semantics and the module docstring for the guarantees.
+    ``query_plan`` runs :mod:`repro.queries.ql` statements against every
+    graph inside the workers (see :class:`~repro.runtime.plan.QueryPlan`) —
+    the way to get marginals or MAP paths out of a big batch without
+    shipping every graph back through pickling.
     """
     cleaner = BatchCleaner(constraints, options=options, workers=workers,
                            chunk_size=chunk_size, prior=prior,
                            timeout_seconds=timeout_seconds,
-                           max_retries=max_retries, start_method=start_method)
+                           max_retries=max_retries, start_method=start_method,
+                           query_plan=query_plan)
     return cleaner.clean(sequences)

@@ -20,13 +20,76 @@ state both just build one per constraint set.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Sequence, Tuple, Union
 
 from repro.core.constraints import ConstraintSet
 from repro.core.lsequence import LSequence
-from repro.errors import ZeroMassError
+from repro.errors import BatchConfigurationError, ZeroMassError
 
-__all__ = ["SharedCleaningPlan"]
+__all__ = ["QueryPlan", "SharedCleaningPlan"]
+
+#: Statement keywords the batch query plan accepts (the ``repro.queries.ql``
+#: language).  Checked at plan construction so a typo fails in the parent,
+#: not object-by-object inside the workers.
+_QL_KEYWORDS = frozenset({
+    "STAY", "MATCH", "VISIT", "SPAN", "DWELL", "FIRST",
+    "EXPECTED", "BEST", "TOP", "ENTROPY",
+})
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """Queries to run against every graph of a batch, inside the workers.
+
+    ``statements`` are :mod:`repro.queries.ql` statements (one string or a
+    sequence); each cleaned object's :class:`~repro.runtime.batch
+    .BatchOutcome` then carries the per-statement
+    :class:`~repro.queries.ql.QueryResult` tuple in ``outcome.queries``.
+    Results are computed through one shared
+    :class:`~repro.queries.session.QuerySession` per object, so the batch
+    pays one forward sweep per object however many statements ride along.
+
+    With ``keep_graphs=False`` (the default) the graphs themselves are
+    dropped after querying — only the query payloads travel back to the
+    parent, which is the point: marginals and MAP paths are a few hundred
+    bytes where a pickled graph is megabytes.  Dropping the graph also
+    lets ``materialize="auto"`` cleanings run flat end to end (no
+    ``CTNode`` is ever built).  Set ``keep_graphs=True`` to get both the
+    graphs and the query results.
+
+    A malformed statement (bad keyword) raises
+    :class:`~repro.errors.BatchConfigurationError` here; argument errors
+    (say an out-of-range ``STAY`` timestep) surface per object as failed
+    outcomes, exactly like a :class:`~repro.errors.ZeroMassError` would.
+    """
+
+    statements: Union[str, Sequence[str], Tuple[str, ...]]
+    keep_graphs: bool = False
+
+    def __post_init__(self) -> None:
+        statements = self.statements
+        if isinstance(statements, str):
+            statements = (statements,)
+        normalized = tuple(statements)
+        if not normalized:
+            raise BatchConfigurationError(
+                "a QueryPlan needs at least one statement")
+        for statement in normalized:
+            if not isinstance(statement, str) or not statement.strip():
+                raise BatchConfigurationError(
+                    f"query statements must be non-empty strings, "
+                    f"got {statement!r}")
+            keyword = statement.strip().split(None, 1)[0].upper()
+            if keyword not in _QL_KEYWORDS:
+                raise BatchConfigurationError(
+                    f"unknown query statement keyword {keyword!r}; "
+                    f"choose from {sorted(_QL_KEYWORDS)}")
+        object.__setattr__(self, "statements", normalized)
+
+    def __repr__(self) -> str:
+        return (f"QueryPlan({list(self.statements)!r}, "
+                f"keep_graphs={self.keep_graphs})")
 
 
 class SharedCleaningPlan:

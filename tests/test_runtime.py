@@ -284,6 +284,64 @@ class TestValidation:
         assert result.workers == 2
 
 
+class TestQueryPlan:
+    STATEMENTS = ("STAY 3", "BEST", "VISIT C", "ENTROPY")
+
+    def test_bad_statements_rejected_up_front(self):
+        from repro.errors import BatchConfigurationError
+        from repro.runtime import QueryPlan
+
+        for statements in ((), ("STAYY 3",), ("",), ("STAY 3", 7)):
+            with pytest.raises(BatchConfigurationError):
+                QueryPlan(statements)
+
+    def test_single_string_normalises_to_tuple(self):
+        from repro.runtime import QueryPlan
+
+        assert QueryPlan("BEST").statements == ("BEST",)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_queries_match_per_object_sessions(self, workload, workers):
+        from repro.queries import ql
+        from repro.queries.session import QuerySession
+        from repro.runtime import QueryPlan
+
+        result = clean_many(workload, CONSTRAINTS, workers=workers,
+                            chunk_size=1,
+                            query_plan=QueryPlan(self.STATEMENTS))
+        for lsequence, outcome in zip(workload, result):
+            assert outcome.ok
+            assert outcome.graph is None  # dropped: only answers travel
+            session = QuerySession(build_ct_graph(
+                lsequence, CONSTRAINTS,
+                CleaningOptions(materialize="flat")))
+            expected = [ql.execute(session, statement)
+                        for statement in self.STATEMENTS]
+            assert [q.value for q in outcome.queries] \
+                == [q.value for q in expected]
+
+    def test_keep_graphs_returns_both(self, workload):
+        from repro.runtime import QueryPlan
+
+        result = clean_many(workload[:2], CONSTRAINTS,
+                            query_plan=QueryPlan("BEST", keep_graphs=True))
+        for outcome in result:
+            assert outcome.graph is not None
+            assert len(outcome.queries) == 1
+
+    def test_statement_argument_errors_fail_per_object(self, workload):
+        from repro.runtime import QueryPlan
+
+        # STAY 7 is out of range for the 6-step objects only.
+        result = clean_many(workload[:8], CONSTRAINTS,
+                            query_plan=QueryPlan("STAY 7"))
+        by_duration = {ls.duration: outcome
+                       for ls, outcome in zip(workload[:8], result)}
+        assert not by_duration[6].ok
+        assert by_duration[6].error_type == "QueryError"
+        assert by_duration[9].ok
+
+
 class TablePrior:
     """A tiny picklable prior: reader r<X> means location X or B."""
 

@@ -10,11 +10,12 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Static gates.  tools/check_invariants.py is stdlib-only and always runs;
-# ruff/mypy run when installed (pip install -e .[lint]) and are skipped with
-# a notice otherwise, so the targets work in minimal containers too.
+# Static gates.  repro.lint (rules L001-L008, see docs/lint.md) is
+# stdlib-only and always runs; ruff/mypy run when installed
+# (pip install -e .[lint]) and are skipped with a notice otherwise, so
+# the targets work in minimal containers too.
 lint:
-	$(PYTHON) tools/check_invariants.py src tools
+	PYTHONPATH=src $(PYTHON) -m repro.lint src tools
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check .; \
 	else \

@@ -13,6 +13,11 @@ the long-duration periodic workloads of ``bench_scaling``:
   :class:`~repro.runtime.plan.SharedCleaningPlan`, the steady-state cost
   a ``clean_many`` worker pays after the first object of a batch.
 
+Each duration also validates the C010 routing advice: the engine the
+static advisor (:func:`repro.analysis.advisor.advise`) picks must never
+be more than ``ROUTING_SLACK``× slower than the best of the measured
+engines — recorded per entry as ``routing_ok`` and gated by ``--check``.
+
 Emits a machine-readable ``BENCH_engine.json`` so successive commits can
 be compared.  Usage::
 
@@ -35,6 +40,7 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.advisor import advise
 from repro.core.algorithm import CleaningOptions, build_ct_graph
 from repro.core.constraints import (
     ConstraintSet,
@@ -45,7 +51,13 @@ from repro.core.constraints import (
 from repro.core.lsequence import LSequence
 from repro.runtime.plan import SharedCleaningPlan
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: How much slower than the best measured engine the statically advised
+#: one may be before ``routing_ok`` flips false.  Generous enough to
+#: absorb timing noise near the crossover, tight enough to catch the
+#: advisor picking the wrong engine on a workload where it matters.
+ROUTING_SLACK = 1.3
 
 #: The ``bench_scaling`` workload: DU + LT + TT all bind, and the TT
 #: constraints keep the departure filter (and so the mask-widened
@@ -94,6 +106,7 @@ def run(durations: Sequence[int], repeats: int) -> Dict[str, object]:
     compact_options = CleaningOptions(engine="compact")
     results: List[Dict[str, object]] = []
     all_identical = True
+    all_routing_ok = True
     for duration in durations:
         lsequence = make_instance(duration)
 
@@ -117,6 +130,27 @@ def run(durations: Sequence[int], repeats: int) -> Dict[str, object]:
             repeats, lambda: build_ct_graph(lsequence, CONSTRAINTS,
                                             compact_options, plan=plan))
 
+        advice = advise(lsequence, CONSTRAINTS)
+        timed = {"reference": reference_seconds,
+                 "compact": compact_seconds}
+        routing_ok = timed[advice.engine] <= ROUTING_SLACK * min(timed.values())
+        if not routing_ok:
+            # A low-repeat run on a loaded machine can spike one engine's
+            # best-of; re-time both sides harder before calling the advice
+            # wrong (best-of only improves with more samples).
+            for engine, options in (("reference", reference_options),
+                                    ("compact", compact_options)):
+                timed[engine] = min(timed[engine], _best_of(
+                    max(repeats * 3, 5),
+                    lambda: build_ct_graph(lsequence, CONSTRAINTS, options)))
+            routing_ok = (timed[advice.engine]
+                          <= ROUTING_SLACK * min(timed.values()))
+        advised_seconds = timed[advice.engine]
+        best_seconds = min(timed.values())
+        all_routing_ok = all_routing_ok and routing_ok
+        reference_seconds = timed["reference"]
+        compact_seconds = timed["compact"]
+
         stats = compact_graph.stats
         results.append({
             "duration": duration,
@@ -130,6 +164,11 @@ def run(durations: Sequence[int], repeats: int) -> Dict[str, object]:
             "forward_seconds": stats.forward_seconds,
             "backward_seconds": stats.backward_seconds,
             "identical_output": identical,
+            "advised_engine": advice.engine,
+            "advised_states": advice.predicted_states,
+            "advised_seconds": advised_seconds,
+            "best_seconds": best_seconds,
+            "routing_ok": routing_ok,
         })
 
     headline = results[-1]
@@ -149,6 +188,7 @@ def run(durations: Sequence[int], repeats: int) -> Dict[str, object]:
         "speedup": headline["speedup"],
         "warm_speedup": headline["warm_speedup"],
         "identical_output": all_identical,
+        "routing_ok": all_routing_ok,
         "results": results,
     }
 
@@ -181,6 +221,9 @@ def validate_payload(payload: Dict[str, object]) -> List[str]:
     expect(payload.get("identical_output") is True,
            "identical_output must be true — the compact engine diverged "
            "from the reference builder")
+    expect(payload.get("routing_ok") is True,
+           "routing_ok must be true — the C010 advisor picked an engine "
+           f"more than {ROUTING_SLACK}x slower than the best one")
     results = payload.get("results")
     if isinstance(results, list) and results:
         if isinstance(workload, dict):
@@ -196,7 +239,16 @@ def validate_payload(payload: Dict[str, object]) -> List[str]:
                     and entry["compact_seconds"] > 0.0
                     and isinstance(entry.get("compact_warm_seconds"), float)
                     and entry["compact_warm_seconds"] > 0.0
-                    and entry.get("identical_output") is True):
+                    and entry.get("identical_output") is True
+                    and entry.get("advised_engine") in ("reference",
+                                                        "compact")
+                    and isinstance(entry.get("advised_states"), int)
+                    and entry["advised_states"] > 0
+                    and isinstance(entry.get("advised_seconds"), float)
+                    and entry["advised_seconds"] > 0.0
+                    and isinstance(entry.get("best_seconds"), float)
+                    and entry["best_seconds"] > 0.0
+                    and entry.get("routing_ok") is True):
                 problems.append(f"malformed results entry: {entry!r}")
                 break
     else:
@@ -248,9 +300,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"compact {entry['compact_seconds'] * 1000:7.1f} ms "
               f"({entry['speedup']:.2f}x)  "
               f"warm {entry['compact_warm_seconds'] * 1000:7.1f} ms "
-              f"({entry['warm_speedup']:.2f}x)")
+              f"({entry['warm_speedup']:.2f}x)  "
+              f"advised {entry['advised_engine']}")
     print(f"headline: {payload['speedup']:.2f}x cold / "
-          f"{payload['warm_speedup']:.2f}x warm, identical output")
+          f"{payload['warm_speedup']:.2f}x warm, identical output, "
+          f"routing ok")
     print(f"wrote {args.out}")
     return 0
 

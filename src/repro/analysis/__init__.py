@@ -15,29 +15,53 @@ True
 C001
 
 Three layers expose it: this API (:func:`analyze`), the ``rfid-ctg
-analyze`` CLI subcommand (``--strict`` exits 1 on ERROR), and the opt-in
-``precheck`` option of :class:`repro.core.algorithm.CleaningOptions`.
+analyze`` CLI subcommand (``--strict`` exits 1 on ERROR, ``--advise``
+adds C010's routing verdict), and the opt-in ``precheck`` option of
+:class:`repro.core.algorithm.CleaningOptions`.  The abstract-
+interpretation layer (:mod:`repro.analysis.envelope`) additionally powers
+the ``engine="auto"`` routing of :func:`repro.core.algorithm.\
+build_ct_graph` via :func:`repro.analysis.advisor.recommend_options`.
 ``docs/analysis.md`` documents every rule code.
 """
 
+from repro.analysis.advisor import (
+    AUTO_COMPACT_MIN_STATES,
+    EngineAdvice,
+    advise,
+    recommend_options,
+)
 from repro.analysis.analyzer import RULES, ZERO_MASS_RULE, RuleSpec, analyze
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analysis.envelope import (
+    AbstractState,
+    ConstraintEnvelope,
+    DepartureInterval,
+    estimate_graph_bytes,
+)
 from repro.analysis.precheck import first_dead_timestep, predict_zero_mass
 from repro.analysis.reachability import ReachabilityIndex, location_universe
 from repro.analysis.rules import AnalysisContext, ctgraph_size_bounds
 
 __all__ = [
+    "AbstractState",
     "AnalysisContext",
     "AnalysisReport",
+    "AUTO_COMPACT_MIN_STATES",
+    "ConstraintEnvelope",
+    "DepartureInterval",
     "Diagnostic",
+    "EngineAdvice",
     "ReachabilityIndex",
     "RuleSpec",
     "RULES",
     "Severity",
     "ZERO_MASS_RULE",
+    "advise",
     "analyze",
     "ctgraph_size_bounds",
+    "estimate_graph_bytes",
     "first_dead_timestep",
     "location_universe",
     "predict_zero_mass",
+    "recommend_options",
 ]

@@ -15,14 +15,19 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Tuple, Union
 
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.envelope import ConstraintEnvelope
 from repro.analysis.reachability import ReachabilityIndex, location_universe
 from repro.analysis.rules import (
     AnalysisContext,
     check_blowup_estimate,
     check_contradictory_stays,
+    check_dead_level_candidates,
     check_dead_locations,
     check_dead_traveling_times,
+    check_envelope_zero_mass,
     check_redundant_constraints,
+    check_routing_advice,
+    check_width_envelope,
     check_zero_mass,
 )
 from repro.core.constraints import ConstraintSet
@@ -37,12 +42,18 @@ ZERO_MASS_RULE = "C005"
 
 @dataclass(frozen=True)
 class RuleSpec:
-    """One registered analyzer rule."""
+    """One registered analyzer rule.
+
+    ``advisory`` rules run only when the caller opts in with
+    ``analyze(..., advise=True)`` (the CLI's ``--advise``) — they report
+    recommendations, not problems.
+    """
 
     code: str
     title: str
     requires_readings: bool
     check: Callable[[AnalysisContext], Iterator[Diagnostic]]
+    advisory: bool = False
 
 
 RULES: Tuple[RuleSpec, ...] = (
@@ -58,6 +69,14 @@ RULES: Tuple[RuleSpec, ...] = (
              True, check_zero_mass),
     RuleSpec("C006", "ct-graph blowup estimate",
              True, check_blowup_estimate),
+    RuleSpec("C007", "abstract width envelope",
+             True, check_width_envelope),
+    RuleSpec("C008", "dead support candidates / forced levels",
+             True, check_dead_level_candidates),
+    RuleSpec("C009", "envelope zero-mass proof",
+             True, check_envelope_zero_mass),
+    RuleSpec("C010", "engine/materialisation routing advice",
+             True, check_routing_advice, advisory=True),
 )
 
 
@@ -82,21 +101,27 @@ def analyze(constraints: ConstraintSet,
             map_model: Optional[object] = None,
             prior: Optional[object] = None,
             readings: Optional[Union[LSequence, ReadingSequence]] = None,
-            *, strict_truncation: bool = False) -> AnalysisReport:
+            *, strict_truncation: bool = False,
+            advise: bool = False) -> AnalysisReport:
     """Statically analyze a constraint set (and optional map/prior/readings).
 
     Rules C001-C004 need only the constraints (the map model widens the
     location universe and the prior tells C004 which locations actually
-    carry mass); C005 and C006 additionally need a concrete reading
-    sequence — pass ``readings`` as either a raw
+    carry mass); C005-C010 additionally need a concrete reading sequence —
+    pass ``readings`` as either a raw
     :class:`~repro.core.lsequence.ReadingSequence` (with ``prior``) or an
     already-interpreted :class:`~repro.core.lsequence.LSequence`.
+    ``advise=True`` additionally runs the advisory rules (C010's
+    engine/materialisation routing verdict).
 
     Diagnostics are emitted in rule-code order and are deterministic for a
     given input (rules iterate sorted views).
     """
     lsequence = _as_lsequence(readings, prior)
     universe = location_universe(constraints, map_model, prior, lsequence)
+    envelope = (ConstraintEnvelope(lsequence, constraints,
+                                   strict_truncation=strict_truncation)
+                if lsequence is not None else None)
     context = AnalysisContext(
         constraints=constraints,
         universe=universe,
@@ -104,10 +129,13 @@ def analyze(constraints: ConstraintSet,
         map_model=map_model,
         prior=prior,
         lsequence=lsequence,
-        strict_truncation=strict_truncation)
+        strict_truncation=strict_truncation,
+        envelope=envelope)
     diagnostics: List[Diagnostic] = []
     for spec in RULES:
         if spec.requires_readings and lsequence is None:
+            continue
+        if spec.advisory and not advise:
             continue
         diagnostics.extend(spec.check(context))
     return AnalysisReport(tuple(diagnostics))

@@ -1,11 +1,13 @@
-"""The analyzer's rules: C001-C006.
+"""The analyzer's rules: C001-C010.
 
 Every rule is a generator taking an :class:`AnalysisContext` and yielding
 :class:`~repro.analysis.diagnostics.Diagnostic` records.  Rules are pure
 inspections — none enumerates trajectories or touches probabilities; the
 most expensive machinery is the cached BFS closure of
-:class:`~repro.analysis.reachability.ReachabilityIndex` and the boolean
-forward pass of :mod:`repro.analysis.precheck` (C005, readings-specific).
+:class:`~repro.analysis.reachability.ReachabilityIndex`, the boolean
+forward pass of :mod:`repro.analysis.precheck` (C005) and the abstract
+forward pass of :mod:`repro.analysis.envelope` (C007-C010) — all
+readings-specific and polynomial.
 
 | code | severity | finding |
 |------|----------|---------|
@@ -14,7 +16,11 @@ forward pass of :mod:`repro.analysis.precheck` (C005, readings-specific).
 | C003 | INFO     | duplicate statements / bounds dominated by stricter ones |
 | C004 | WARNING  | location with no DU-legal in- or out-steps |
 | C005 | ERROR    | a concrete reading sequence has zero valid mass |
-| C006 | INFO     | ct-graph node-count upper bound per timestep |
+| C006 | INFO     | ct-graph node-count upper bound per timestep (+ byte estimates) |
+| C007 | INFO     | abstract width envelope: tighter per-level node bound |
+| C008 | WARNING  | dead support candidates / forced single-location levels |
+| C009 | ERROR    | interval envelope empties a level: zero mass, proved early |
+| C010 | INFO     | engine/materialisation routing advice (``--advise``) |
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.envelope import ConstraintEnvelope, estimate_graph_bytes
 from repro.analysis.precheck import first_dead_timestep
 from repro.analysis.reachability import ReachabilityIndex
 from repro.core.constraints import ConstraintSet, Latency, TravelingTime
@@ -38,6 +45,10 @@ __all__ = [
     "check_dead_locations",
     "check_zero_mass",
     "check_blowup_estimate",
+    "check_width_envelope",
+    "check_dead_level_candidates",
+    "check_envelope_zero_mass",
+    "check_routing_advice",
     "ctgraph_size_bounds",
 ]
 
@@ -58,6 +69,10 @@ class AnalysisContext:
     prior: Optional[object] = None
     lsequence: Optional[LSequence] = None
     strict_truncation: bool = False
+    #: The abstract-interpretation envelope over the readings, built once
+    #: by :func:`~repro.analysis.analyzer.analyze` and shared by
+    #: C007-C010.  ``None`` without readings.
+    envelope: Optional[ConstraintEnvelope] = None
 
 
 # ----------------------------------------------------------------------
@@ -261,15 +276,155 @@ def ctgraph_size_bounds(lsequence: LSequence,
 
 
 def check_blowup_estimate(ctx: AnalysisContext) -> Iterator[Diagnostic]:
-    """Report the C006 size bound so callers can budget memory up front."""
+    """Report the C006 size bound so callers can budget memory up front.
+
+    Bytes are reported for *both* materialisations — ``CTNode`` objects
+    and the flat columnar form — since the flat form carries the same
+    graph in roughly a quarter of the memory; quoting only the node form
+    (as this rule originally did) overstates the real floor ~4x.
+    """
     if ctx.lsequence is None:
         return
     bounds = ctgraph_size_bounds(ctx.lsequence, ctx.constraints)
     worst = max(bounds)
     worst_at = bounds.index(worst)
+    # Each node has at most one successor per next-level support location.
+    edge_bounds = [bounds[tau] * len(ctx.lsequence.support(tau + 1))
+                   for tau in range(len(bounds) - 1)]
+    node_bytes, flat_bytes = estimate_graph_bytes(bounds, edge_bounds)
     yield Diagnostic(
         "C006", Severity.INFO,
         f"ct-graph size upper bound: <= {sum(bounds)} node states over "
-        f"{len(bounds)} timesteps (worst timestep {worst_at}: <= {worst})",
+        f"{len(bounds)} timesteps (worst timestep {worst_at}: <= {worst}); "
+        f"~{node_bytes / 1024.0:.0f} KiB as CTNode objects, "
+        f"~{flat_bytes / 1024.0:.0f} KiB flat (materialize='flat')",
         data={"total": sum(bounds), "worst": worst,
-              "worst_timestep": worst_at, "per_timestep": bounds})
+              "worst_timestep": worst_at, "per_timestep": bounds,
+              "per_timestep_edges": edge_bounds,
+              "node_bytes": node_bytes, "flat_bytes": flat_bytes})
+
+
+# ----------------------------------------------------------------------
+# C007 — abstract width envelope (tighter than C006)
+# ----------------------------------------------------------------------
+def check_width_envelope(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """Report the per-level width bound of the constraint envelope.
+
+    Pointwise at most C006's support-product bound (the envelope starts
+    from the same factors and only intersects them with feasibility
+    information), and sound: every concrete forward state of Algorithm 1
+    is covered by its envelope cell.
+    """
+    if ctx.lsequence is None or ctx.envelope is None:
+        return
+    if ctx.envelope.proves_zero_mass:
+        # C009 reports the emptiness; a width bound of zero adds noise.
+        return
+    widths = ctx.envelope.width_bounds()
+    total = sum(widths)
+    worst = max(widths)
+    worst_at = widths.index(worst)
+    c006_total = sum(ctgraph_size_bounds(ctx.lsequence, ctx.constraints))
+    tightening = c006_total / max(total, 1)
+    yield Diagnostic(
+        "C007", Severity.INFO,
+        f"abstract width envelope: <= {total} node states over "
+        f"{len(widths)} timesteps (worst timestep {worst_at}: <= {worst}); "
+        f"tightens the C006 product bound ({c006_total}) by "
+        f"{tightening:.2f}x",
+        data={"total": total, "worst": worst, "worst_timestep": worst_at,
+              "per_timestep": widths, "c006_total": c006_total})
+
+
+# ----------------------------------------------------------------------
+# C008 — dead support candidates and forced levels
+# ----------------------------------------------------------------------
+def check_dead_level_candidates(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """Support entries the envelope proves can never carry mass, and
+    ambiguous levels statically forced to a single location."""
+    if ctx.lsequence is None or ctx.envelope is None:
+        return
+    if ctx.envelope.proves_zero_mass:
+        # Past the empty level everything is trivially dead; C009 covers it.
+        return
+    dead = ctx.envelope.dead_candidates()
+    if dead:
+        shown = ", ".join(f"t{tau}:{location}" for tau, location in dead[:6])
+        if len(dead) > 6:
+            shown += ", ..."
+        yield Diagnostic(
+            "C008", Severity.WARNING,
+            f"{len(dead)} support candidate(s) can never carry mass "
+            f"({shown}): no constraint-legal trajectory passes through "
+            f"them, so their prior probability is guaranteed loss that "
+            f"conditioning redistributes",
+            subjects=tuple(sorted({location for _, location in dead})),
+            data={"dead": [[tau, location] for tau, location in dead]})
+    forced = ctx.envelope.forced_levels()
+    if forced:
+        shown = ", ".join(f"t{tau}:{location}"
+                          for tau, location in forced[:6])
+        if len(forced) > 6:
+            shown += ", ..."
+        yield Diagnostic(
+            "C008", Severity.INFO,
+            f"{len(forced)} ambiguous timestep(s) are statically forced "
+            f"to a single location ({shown}): cleaning will answer these "
+            f"levels with certainty",
+            subjects=tuple(sorted({location for _, location in forced})),
+            data={"forced": [[tau, location] for tau, location in forced]})
+
+
+# ----------------------------------------------------------------------
+# C009 — envelope emptiness: zero mass proved by intervals alone
+# ----------------------------------------------------------------------
+def check_envelope_zero_mass(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """Zero valid mass proved by the interval envelope.
+
+    One-directional: an empty envelope level admits no concrete state, so
+    this is a sound (and cheaper, polynomial-width) early proof that
+    Algorithm 1 raises ``ZeroMassError``.  C005's exact forward pass
+    remains the complete test and fires alongside this rule.
+    """
+    if ctx.lsequence is None or ctx.envelope is None:
+        return
+    failed_at = ctx.envelope.first_empty_level
+    if failed_at is None:
+        return
+    yield Diagnostic(
+        "C009", Severity.ERROR,
+        f"zero valid mass, proved by the interval envelope: the abstract "
+        f"TT/latency windows leave no feasible (location, stay, "
+        f"departures) state at timestep {failed_at}, so Algorithm 1 must "
+        f"raise ZeroMassError (the exact C005 pass confirms it)",
+        data={"failed_at": failed_at})
+
+
+# ----------------------------------------------------------------------
+# C010 — engine/materialisation routing advice (advisory, --advise)
+# ----------------------------------------------------------------------
+def check_routing_advice(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """Surface the static routing verdict of
+    :func:`repro.analysis.advisor.advise` as a diagnostic."""
+    if ctx.lsequence is None or ctx.envelope is None:
+        return
+    # Imported lazily: the advisor depends on repro.core.algorithm, which
+    # plain rule evaluation should not pull in.
+    from repro.analysis.advisor import advise
+
+    advice = advise(ctx.lsequence, ctx.constraints,
+                    strict_truncation=ctx.strict_truncation,
+                    envelope=ctx.envelope)
+    yield Diagnostic(
+        "C010", Severity.INFO,
+        f"routing advice: engine={advice.engine}, "
+        f"materialize={advice.materialize} — {advice.reason} "
+        f"(~{advice.predicted_node_bytes / 1024.0:.0f} KiB as nodes, "
+        f"~{advice.predicted_flat_bytes / 1024.0:.0f} KiB flat)",
+        data={"engine": advice.engine, "materialize": advice.materialize,
+              "predicted_states": advice.predicted_states,
+              "peak_level_width": advice.peak_level_width,
+              "predicted_node_bytes": advice.predicted_node_bytes,
+              "predicted_flat_bytes": advice.predicted_flat_bytes,
+              "zero_mass": advice.zero_mass,
+              "reason": advice.reason})

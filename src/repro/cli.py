@@ -194,8 +194,25 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument("--strict", action="store_true",
                              help="exit with code 1 when any ERROR "
                                   "diagnostic is present")
+    analyze_cmd.add_argument("--advise", action="store_true",
+                             help="also run the advisory rules (C010: "
+                                  "engine/materialisation routing advice; "
+                                  "needs readings via --index)")
     analyze_cmd.add_argument("--format", choices=["text", "json"],
                              default="text", help="report rendering")
+
+    lint_cmd = sub.add_parser(
+        "lint", help="run the engine-invariant linter (repro.lint, rules "
+                     "L001-L008) over source paths")
+    lint_cmd.add_argument("paths", nargs="*",
+                          help="files or directories to lint (recursively)")
+    lint_cmd.add_argument("--format", choices=["text", "json"],
+                          default="text", help="report format")
+    lint_cmd.add_argument("--select", metavar="CODES",
+                          help="comma-separated rule codes to run "
+                               "(default: all)")
+    lint_cmd.add_argument("--list-rules", action="store_true",
+                          help="print the registered rules and exit")
 
     map_cmd = sub.add_parser(
         "map", help="render a floor plan (optionally with a position estimate)")
@@ -520,7 +537,8 @@ def _command_analyze(args: argparse.Namespace) -> int:
         constraints = load_constraints(args.constraints_file)
         building = (load_building(args.building_file)
                     if args.building_file else None)
-        report = analyze(constraints, map_model=building)
+        report = analyze(constraints, map_model=building,
+                         advise=args.advise)
     else:
         dataset = _load_dataset(args)
         kinds = _parse_kinds(args.constraints)
@@ -535,12 +553,25 @@ def _command_analyze(args: argparse.Namespace) -> int:
                     f"--index must be in [0, {len(trajectories)})")
             readings = trajectories[args.index].readings
         report = analyze(constraints, map_model=dataset.building,
-                         prior=dataset.prior, readings=readings)
+                         prior=dataset.prior, readings=readings,
+                         advise=args.advise)
     if args.format == "json":
         print(report.render_json())
     else:
         print(report.render_text())
     return report.exit_code(strict=args.strict)
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.lint import main as lint_main
+
+    lint_args = list(args.paths)
+    if args.list_rules:
+        lint_args.append("--list-rules")
+    if args.select:
+        lint_args.extend(["--select", args.select])
+    lint_args.extend(["--format", args.format])
+    return lint_main(lint_args)
 
 
 def _command_map(args: argparse.Namespace) -> int:
@@ -576,6 +607,7 @@ _COMMANDS = {
     "report": _command_report,
     "ql": _command_ql,
     "analyze": _command_analyze,
+    "lint": _command_lint,
     "map": _command_map,
 }
 

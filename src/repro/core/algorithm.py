@@ -80,20 +80,48 @@ ENGINES = ("auto", "reference", "compact")
 #: columnar :class:`~repro.core.flatgraph.FlatCTGraph` (``"flat"``).
 MATERIALIZE_MODES = ("auto", "nodes", "flat")
 
-#: ``engine="auto"`` switches to the compact engine at this duration: below
-#: it the reference builder's lower fixed cost wins, above it the memoised
-#: transition rows dominate.  Both engines are bit-exact, so the threshold
-#: is purely a performance knob (calibrated by ``benchmarks/bench_engine``).
+#: Fallback duration threshold for ``engine="auto"``: below it the
+#: reference builder's lower fixed cost wins, above it the memoised
+#: transition rows dominate.  :func:`build_ct_graph` now routes ``auto``
+#: through the static advisor's predicted state count
+#: (:func:`repro.analysis.advisor.advise`); this duration knob remains the
+#: documented fallback for callers that resolve an engine without an
+#: l-sequence in hand.  Both engines are bit-exact, so either threshold is
+#: purely a performance knob (calibrated by ``benchmarks/bench_engine``).
 AUTO_COMPACT_MIN_DURATION = 48
 
 
 def _resolve_engine(engine: str, duration: int) -> str:
-    """The concrete engine for a run: ``auto`` picks by duration."""
+    """The fallback engine resolution: ``auto`` picks by duration only."""
     if engine == "auto":
         if duration >= AUTO_COMPACT_MIN_DURATION:
             return "compact"
         return "reference"
     return engine
+
+
+def _route_engine(options: "CleaningOptions", lsequence: LSequence,
+                  constraints: ConstraintSet, plan=None) -> str:
+    """The concrete engine for one :func:`build_ct_graph` run.
+
+    An explicit choice passes through.  ``auto`` asks the static advisor
+    (:func:`repro.analysis.advisor.recommend_options`) to predict the
+    ct-graph's state count from the constraint envelope — through the
+    plan's advice cache when a :class:`~repro.runtime.plan.\
+SharedCleaningPlan` is supplied, so periodic batch workloads pay for one
+    envelope per support signature rather than one per object.  Duck-typed
+    plans without an ``advice_for`` method fall back to the direct path.
+    """
+    if options.engine != "auto":
+        return options.engine
+    if plan is not None:
+        advice_for = getattr(plan, "advice_for", None)
+        if advice_for is not None:
+            return advice_for(lsequence, options).engine
+    # Imported lazily: repro.analysis depends on this module.
+    from repro.analysis.advisor import recommend_options
+
+    return recommend_options(lsequence, constraints, options).engine
 
 
 @dataclass(frozen=True)
@@ -116,10 +144,12 @@ class CleaningOptions:
     ``engine`` — which Algorithm 1 implementation runs: ``"reference"``
     (the direct builder above), ``"compact"`` (the interned engine of
     :mod:`repro.core.engine` — memoised transition rows, columnar backward
-    sweep), or ``"auto"`` (default: compact for long durations, reference
-    for short ones).  The engines are bit-exact with each other — same
-    graph, same probabilities, same stats counters — so the choice is
-    purely about speed; see ``docs/perf.md``.
+    sweep), or ``"auto"`` (default: routed per instance by the static
+    advisor's predicted state count, see
+    :func:`repro.analysis.advisor.recommend_options`).  The engines are
+    bit-exact with each other — same graph, same probabilities, same
+    stats counters — so the choice is purely about speed; see
+    ``docs/perf.md``.
 
     ``materialize`` — the shape of the returned graph: ``"nodes"``
     builds the :class:`~repro.core.ctgraph.CTGraph` object web (the
@@ -212,7 +242,11 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
     result — only where the bookkeeping lives.  The plan must be built for
     this very constraint set.
     """
-    if _resolve_engine(options.engine, lsequence.duration) == "compact":
+    if plan is not None and plan.constraints != constraints:
+        raise ReadingSequenceError(
+            "the shared cleaning plan was built for a different "
+            "constraint set")
+    if _route_engine(options, lsequence, constraints, plan) == "compact":
         # The compact engine owns the whole contract (plan validation,
         # pre-check, stats); imported lazily to keep the module DAG simple.
         from repro.core.engine import build_ct_graph_compact
@@ -220,10 +254,6 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
         return build_ct_graph_compact(lsequence, constraints, options,
                                       plan=plan)
     if plan is not None:
-        if plan.constraints != constraints:
-            raise ReadingSequenceError(
-                "the shared cleaning plan was built for a different "
-                "constraint set")
         plan.precheck(lsequence, options)
     elif options.precheck != "off":
         _run_precheck(lsequence, constraints, options)

@@ -1,0 +1,49 @@
+"""Code-level static analysis: the engine-invariant linter.
+
+Tier 2 of the repo's static-analysis stack (tier 1 is
+:mod:`repro.analysis`, which analyses the *data* — constraints and
+readings; this package analyses the *code*).  A pluggable AST-visitor
+framework (:mod:`repro.lint.registry`) runs the registered rules
+L001-L008 (:mod:`repro.lint.rules`) over source trees: invariants
+ruff/mypy cannot express — interning immutability, worker-boundary
+picklability, bit-exact determinism, ``python -O`` survival, CSR index
+discipline.  ``docs/lint.md`` is the rule catalog.
+
+Entry points: ``python -m repro.lint``, ``rfid-ctg lint`` and ``make
+lint``; ``tools/check_invariants.py`` remains as a deprecated shim over
+the L001-L003 subset.  A trailing ``# lint-ok: <CODE>`` comment (or the
+historical ``# invariant-ok: INVxxx``) suppresses a finding on its line.
+"""
+
+from repro.lint.engine import (
+    lint_path,
+    lint_source,
+    main,
+    python_files,
+    render_json,
+)
+from repro.lint.findings import (
+    LEGACY_CODES,
+    LEGACY_SUPPRESSION_MARK,
+    SUPPRESSION_MARK,
+    LintFinding,
+    suppressed_lines,
+)
+from repro.lint.registry import LintRule, all_rules, register, rule_codes
+
+__all__ = [
+    "LEGACY_CODES",
+    "LEGACY_SUPPRESSION_MARK",
+    "LintFinding",
+    "LintRule",
+    "SUPPRESSION_MARK",
+    "all_rules",
+    "lint_path",
+    "lint_source",
+    "main",
+    "python_files",
+    "register",
+    "render_json",
+    "rule_codes",
+    "suppressed_lines",
+]

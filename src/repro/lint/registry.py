@@ -1,0 +1,62 @@
+"""The pluggable rule registry.
+
+A rule is a class with a stable ``code``, a one-line ``title``, a
+``rationale`` paragraph (rendered by ``--list-rules`` and docs), and a
+:meth:`LintRule.check` generator over a parsed module.  Decorating it
+with :func:`register` adds one instance to the global registry; the
+engine runs every registered rule (or the ``--select`` subset) over each
+file.  Registration is import-time — :mod:`repro.lint.rules` registers
+the built-in L-rules — and codes must be unique.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Tuple, Type
+
+from repro.lint.findings import LintFinding
+
+__all__ = ["LintRule", "all_rules", "register", "rule_codes"]
+
+
+class LintRule:
+    """Base class for one registered rule."""
+
+    #: Stable rule code (``L001``...), the suppression/selection handle.
+    code: str = ""
+    #: One-line summary shown by ``--list-rules``.
+    title: str = ""
+    #: Why the rule exists — the invariant it machine-checks.
+    rationale: str = ""
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        """Yield every violation in one parsed module."""
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, message: str) -> LintFinding:
+        return LintFinding(path, line, self.code, message)
+
+
+_REGISTRY: Dict[str, LintRule] = {}
+
+
+def register(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator: instantiate and add the rule to the registry."""
+    rule = cls()
+    if not rule.code:
+        raise ValueError(f"lint rule {cls.__name__} declares no code")
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate lint rule code {rule.code!r} "
+                         f"({cls.__name__})")
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def all_rules() -> Tuple[LintRule, ...]:
+    """Every registered rule, in code order."""
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def rule_codes() -> Tuple[str, ...]:
+    """The registered codes, sorted."""
+    return tuple(sorted(_REGISTRY))

@@ -21,11 +21,14 @@ state both just build one per constraint set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, FrozenSet, Sequence, Tuple, Union
 
 from repro.core.constraints import ConstraintSet
 from repro.core.lsequence import LSequence
 from repro.errors import BatchConfigurationError, ZeroMassError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.advisor import EngineAdvice
 
 __all__ = ["QueryPlan", "SharedCleaningPlan"]
 
@@ -105,6 +108,9 @@ class SharedCleaningPlan:
         self._du_rows: Dict[Tuple[str, Tuple[str, ...]],
                             FrozenSet[str]] = {}
         self._engine_cache = None
+        # Engine-routing advice per support signature (see advice_for).
+        self._advice: Dict[Tuple[bool, Tuple[Tuple[str, ...], ...]],
+                           "EngineAdvice"] = {}
         # ``static_checked=True`` records that the constraints-only
         # analysis already ran elsewhere (the batch parent runs it once
         # before spawning workers, so respawned pools never repeat it and
@@ -154,10 +160,41 @@ class SharedCleaningPlan:
             self._engine_cache = EngineCache(self.constraints)
         return self._engine_cache
 
+    # ------------------------------------------------------------------
+    # static engine-routing advice
+    # ------------------------------------------------------------------
+    def advice_for(self, lsequence: LSequence, options) -> "EngineAdvice":
+        """Routing advice for one object, cached per support signature.
+
+        The constraint envelope — and with it the advisor's verdict —
+        depends only on the truncation policy and the per-level location
+        supports, never on the probabilities, so periodic batch workloads
+        (reader cycles, repeated schedules) hit one cached verdict for
+        thousands of objects.  Advice never changes results (the engines
+        are bit-exact); it only picks the cheaper builder.
+        """
+        strict = bool(getattr(options, "strict_truncation", False))
+        key = (strict,
+               tuple(tuple(sorted(lsequence.support(tau)))
+                     for tau in range(lsequence.duration)))
+        advice = self._advice.get(key)
+        if advice is None:
+            from repro.analysis.advisor import advise
+
+            advice = advise(lsequence, self.constraints,
+                            strict_truncation=strict)
+            self._advice[key] = advice
+        return advice
+
     @property
     def cached_rows(self) -> int:
         """How many DU rows the plan has accumulated (observability)."""
         return len(self._du_rows)
+
+    @property
+    def cached_advice(self) -> int:
+        """How many routing verdicts the plan has cached (observability)."""
+        return len(self._advice)
 
     # ------------------------------------------------------------------
     # run-once analyzer pre-check

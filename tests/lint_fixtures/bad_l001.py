@@ -1,0 +1,9 @@
+"""L001 fixture: exact equality against a fractional float literal."""
+
+
+def survived(probability):
+    return probability == 0.5
+
+
+def not_tiny(value):
+    return value != 1e-6

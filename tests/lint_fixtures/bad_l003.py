@@ -1,0 +1,5 @@
+"""L003 fixture: object.__setattr__ outside __post_init__."""
+
+
+def poke(frozen_thing):
+    object.__setattr__(frozen_thing, "steps", 3)

@@ -1,0 +1,7 @@
+"""L004 fixture: mutating interned engine-cache state from outside."""
+
+
+def corrupt(cache, row):
+    cache._rows[("B", "C")] = row
+    cache._states.append(row)
+    cache._du_rows = {}

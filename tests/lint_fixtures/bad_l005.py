@@ -1,0 +1,9 @@
+"""L005 fixture: iterating freshly built sets in hash order."""
+
+
+def hash_ordered(names):
+    collected = []
+    for name in {"b", "a", "c"}:
+        collected.append(name)
+    collected.extend(n for n in set(names))
+    return collected, list(set(names))

@@ -1,0 +1,5 @@
+"""L006 fixture: a lambda shipped across the worker boundary."""
+
+
+def dispatch(pool, items):
+    return pool.map(lambda item: item + 1, items)

@@ -1,0 +1,6 @@
+"""L007 fixture: a library invariant guarded only by assert."""
+
+
+def survival_mass(total):
+    assert total > 0, "zero mass should have raised ZeroMassError"
+    return 1.0 / total

@@ -1,0 +1,6 @@
+"""L008 fixture: raw CSR column arithmetic outside the accessor layer."""
+
+
+def first_child(graph, node):
+    start = graph.edge_offsets[node]
+    return graph.edge_children[start], graph.edge_probabilities[start]

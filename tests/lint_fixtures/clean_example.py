@@ -1,0 +1,35 @@
+"""A fixture every rule must pass: the sanctioned idioms."""
+
+import math
+
+
+class Cache:
+    def __init__(self):
+        self._rows = {}
+        self._states = []
+
+    def intern(self, key, row):
+        # Owners may mutate their own interned state.
+        self._rows[key] = row
+        self._states.append(row)
+        return row
+
+
+class Frozen:
+    def __post_init__(self):
+        object.__setattr__(self, "normalised", True)
+
+
+def close_enough(probability):
+    # Sentinels are exact by construction; fractions use a tolerance.
+    return (probability == 0.0 or probability == 1.0
+            or math.isclose(probability, 0.5))
+
+
+def ordered(names, wanted):
+    # Membership tests and sorted() iteration over sets are fine.
+    chosen = [name for name in sorted(set(names)) if name in wanted]
+    try:
+        return chosen[0]
+    except IndexError:
+        return None

@@ -284,7 +284,11 @@ class TestReport:
 
     def test_rule_registry_is_complete(self):
         assert [spec.code for spec in RULES] == [
-            "C001", "C002", "C003", "C004", "C005", "C006"]
+            "C001", "C002", "C003", "C004", "C005", "C006",
+            "C007", "C008", "C009", "C010"]
+
+    def test_only_c010_is_advisory(self):
+        assert [spec.code for spec in RULES if spec.advisory] == ["C010"]
 
 
 class TestAnalyzeOrchestration:

@@ -1,57 +1,41 @@
 #!/usr/bin/env python
-"""Repo-specific AST lint: invariants ruff/mypy cannot express.
+"""DEPRECATED shim over :mod:`repro.lint`, the promoted invariant linter.
 
-Three rules, each with a stable code:
+The three historical rules live on in ``repro.lint`` under new codes —
+INV001 -> L001 (no ``==``/``!=`` against fractional float literals),
+INV002 -> L002 (no bare ``except:``), INV003 -> L003 (no
+``object.__setattr__`` outside ``__post_init__``) — alongside the
+engine-specific rules L004-L008; ``docs/lint.md`` is the catalog.
 
-* **INV001** — no ``==``/``!=`` against a fractional float literal.
-  Probabilities in this codebase are accumulated by multiplication and
-  ``fsum``; exact equality against values like ``0.5`` or ``1e-6`` is a
-  float-comparison bug waiting to happen.  Comparisons against the exact
-  sentinels ``0.0``/``1.0``/``-1.0`` (support emptiness, untouched
-  survival) are allowed — they test provenance, not arithmetic — as are
-  tolerance helpers (``math.isclose``, ``pytest.approx``, ``abs(a - b) <
-  eps``), which never use ``==``.
-
-* **INV002** — no bare ``except:``.  A bare except swallows
-  ``KeyboardInterrupt``/``SystemExit``; catch ``Exception`` or the
-  precise :mod:`repro.errors` subtype instead.
-
-* **INV003** — no ``object.__setattr__`` outside ``__post_init__``.
-  The frozen dataclasses (constraints, readings, diagnostics) are hashed
-  and shared; mutating one after construction invalidates every index
-  built over it.  ``__post_init__`` normalisation is the sanctioned
-  exception.
-
-A trailing ``# invariant-ok: <CODE>`` comment suppresses a finding on
-that line (used sparingly, and visible in review).
-
-Usage::
-
-    python tools/check_invariants.py src/ [more paths...]
-
-Exit code 0 when clean, 1 when any finding is reported, 2 on usage or
-parse errors.  Stdlib only — this is the lint gate that runs even where
-ruff/mypy are not installed.
+This shim keeps the historical entry point working (``make``/CI/scripts
+invoking ``python tools/check_invariants.py``): same INV codes on
+findings, same messages, same exit-code contract (0 clean, 1 findings,
+2 usage/parse errors).  ``# invariant-ok: INVxxx`` suppressions are still
+honoured by the new engine.  Prefer ``python -m repro.lint src tools``
+(or ``rfid-ctg lint``) — it runs all eight rules.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
-from typing import Iterator, List, NamedTuple, Sequence, Set, Tuple
+from typing import List, NamedTuple, Sequence
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.lint import LEGACY_CODES, lint_path, lint_source, python_files  # noqa: E402
 
 __all__ = ["Finding", "check_source", "check_path", "main"]
 
-#: Float literals that may be compared exactly: distribution emptiness and
-#: the untouched-survival sentinel.  Everything fractional is suspect.
-EXACT_FLOAT_SENTINELS = (0.0, 1.0, -1.0)
-
-SUPPRESSION_MARK = "# invariant-ok:"
+#: Promoted L code -> historical INV code (what this shim reports).
+_TO_LEGACY = {new: old for old, new in LEGACY_CODES.items()}
+_LEGACY_SELECT = frozenset(_TO_LEGACY)
 
 
 class Finding(NamedTuple):
-    """One invariant violation."""
+    """One invariant violation, under its historical INV code."""
 
     path: str
     line: int
@@ -62,110 +46,32 @@ class Finding(NamedTuple):
         return f"{self.path}:{self.line}: {self.code} {self.message}"
 
 
-def _is_fractional_float(node: ast.expr) -> bool:
-    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
-        node = node.operand
-    return (isinstance(node, ast.Constant)
-            and isinstance(node.value, float)
-            and node.value not in EXACT_FLOAT_SENTINELS)
-
-
-class _InvariantVisitor(ast.NodeVisitor):
-    def __init__(self, path: str) -> None:
-        self.path = path
-        self.findings: List[Finding] = []
-        self._function_stack: List[str] = []
-
-    # -- INV001 -----------------------------------------------------------
-    def visit_Compare(self, node: ast.Compare) -> None:
-        operands = [node.left, *node.comparators]
-        for op, left, right in zip(node.ops, operands, operands[1:]):
-            if not isinstance(op, (ast.Eq, ast.NotEq)):
-                continue
-            if _is_fractional_float(left) or _is_fractional_float(right):
-                self.findings.append(Finding(
-                    self.path, node.lineno, "INV001",
-                    "exact ==/!= against a fractional float literal; use "
-                    "math.isclose / an explicit tolerance"))
-                break
-        self.generic_visit(node)
-
-    # -- INV002 -----------------------------------------------------------
-    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
-        if node.type is None:
-            self.findings.append(Finding(
-                self.path, node.lineno, "INV002",
-                "bare `except:`; catch Exception or a repro.errors type"))
-        self.generic_visit(node)
-
-    # -- INV003 -----------------------------------------------------------
-    def _visit_function(self, node: ast.AST, name: str) -> None:
-        self._function_stack.append(name)
-        self.generic_visit(node)
-        self._function_stack.pop()
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._visit_function(node, node.name)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._visit_function(node, node.name)
-
-    def visit_Call(self, node: ast.Call) -> None:
-        func = node.func
-        if (isinstance(func, ast.Attribute)
-                and func.attr == "__setattr__"
-                and isinstance(func.value, ast.Name)
-                and func.value.id == "object"
-                and "__post_init__" not in self._function_stack):
-            self.findings.append(Finding(
-                self.path, node.lineno, "INV003",
-                "object.__setattr__ outside __post_init__ mutates a "
-                "frozen dataclass after construction"))
-        self.generic_visit(node)
-
-
-def _suppressed_lines(source: str) -> Set[Tuple[int, str]]:
-    suppressed: Set[Tuple[int, str]] = set()
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        mark = line.find(SUPPRESSION_MARK)
-        if mark < 0:
-            continue
-        for code in line[mark + len(SUPPRESSION_MARK):].replace(",", " ").split():
-            suppressed.add((lineno, code.strip().upper()))
-    return suppressed
+def _as_legacy(findings) -> List[Finding]:
+    return [Finding(finding.path, finding.line, _TO_LEGACY[finding.code],
+                    finding.message)
+            for finding in findings]
 
 
 def check_source(source: str, path: str = "<string>") -> List[Finding]:
-    """Every invariant violation in one Python source text."""
-    tree = ast.parse(source, filename=path)
-    visitor = _InvariantVisitor(path)
-    visitor.visit(tree)
-    suppressed = _suppressed_lines(source)
-    return [finding for finding in visitor.findings
-            if (finding.line, finding.code) not in suppressed]
-
-
-def _python_files(paths: Sequence[str]) -> Iterator[Path]:
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
-        else:
-            yield path
+    """Every legacy-rule violation in one Python source text."""
+    return _as_legacy(lint_source(source, path, select=_LEGACY_SELECT))
 
 
 def check_path(path: Path) -> List[Finding]:
-    """Every invariant violation in one file."""
-    return check_source(path.read_text(), str(path))
+    """Every legacy-rule violation in one file."""
+    return _as_legacy(lint_path(path, select=_LEGACY_SELECT))
 
 
 def main(argv: Sequence[str]) -> int:
     if not argv:
         print(__doc__, file=sys.stderr)
         return 2
+    print("note: tools/check_invariants.py is a deprecated shim over the "
+          "L001-L003 subset; prefer `python -m repro.lint` (all rules, "
+          "see docs/lint.md)", file=sys.stderr)
     findings: List[Finding] = []
     checked = 0
-    for path in _python_files(argv):
+    for path in python_files(list(argv)):
         try:
             findings.extend(check_path(path))
         except SyntaxError as error:

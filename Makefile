@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck check bench bench-paper bench-parallel bench-faults bench-engine bench-queries report examples loc clean
+.PHONY: install test lint typecheck check bench bench-paper bench-parallel bench-faults bench-engine bench-queries bench-kernels report examples loc clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,7 +10,7 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Static gates.  repro.lint (rules L001-L008, see docs/lint.md) is
+# Static gates.  repro.lint (rules L001-L009, see docs/lint.md) is
 # stdlib-only and always runs; ruff/mypy run when installed
 # (pip install -e .[lint]) and are skipped with a notice otherwise, so
 # the targets work in minimal containers too.
@@ -63,6 +63,15 @@ bench-engine:
 # headline number.
 bench-queries:
 	$(PYTHON) benchmarks/bench_queries.py --out BENCH_queries.json
+	$(PYTHON) benchmarks/bench_queries.py --check BENCH_queries.json
+
+# Vectorized level-sweep kernels (needs the numpy extra): the wide
+# kernel workload of both benches, parity-gated against the python
+# oracle, refreshing the kernel_speedup blocks of both BENCH files.
+bench-kernels:
+	$(PYTHON) benchmarks/bench_engine.py --backend numpy --out BENCH_engine.json
+	$(PYTHON) benchmarks/bench_engine.py --check BENCH_engine.json
+	$(PYTHON) benchmarks/bench_queries.py --backend numpy --out BENCH_queries.json
 	$(PYTHON) benchmarks/bench_queries.py --check BENCH_queries.json
 
 report:

@@ -18,11 +18,25 @@ static advisor (:func:`repro.analysis.advisor.advise`) picks must never
 be more than ``ROUTING_SLACK``× slower than the best of the measured
 engines — recorded per entry as ``routing_ok`` and gated by ``--check``.
 
+Since schema v3 the sweep carries a **backend axis** (``--backend``, the
+flat-materialised build re-timed under ``CleaningOptions(backend=...)``)
+and a **kernel block**: a wide periodic workload (``KERNEL_WIDTH``
+locations, so each edge level carries thousands of edges) cleaned to
+flat form under both sweep backends.  ``kernel_speedup`` is the ratio of
+``CleaningStats.sweep_seconds`` — the backward survival sweep proper,
+the slice the numpy kernels (:mod:`repro.core.kernels`) actually
+replace; ``build_speedup`` is the honest whole-build ratio, which is
+structurally capped by tuple materialisation (the flat graph stores
+tuples, and converting ndarrays back is linear in edges).  The block's
+``parity`` field asserts the two builds are *bit-identical* — flat-form
+equality, stats counters included — and ``--check`` hard-gates it.
+
 Emits a machine-readable ``BENCH_engine.json`` so successive commits can
 be compared.  Usage::
 
     python benchmarks/bench_engine.py                    # full sweep
     python benchmarks/bench_engine.py --smoke            # CI-sized
+    python benchmarks/bench_engine.py --smoke --backend numpy
     python benchmarks/bench_engine.py --check BENCH_engine.json
 
 ``--check`` validates an existing result file against the schema and
@@ -41,7 +55,8 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.advisor import advise
-from repro.core.algorithm import CleaningOptions, build_ct_graph
+from repro.core import kernels
+from repro.core.algorithm import BACKENDS, CleaningOptions, build_ct_graph
 from repro.core.constraints import (
     ConstraintSet,
     Latency,
@@ -51,7 +66,7 @@ from repro.core.constraints import (
 from repro.core.lsequence import LSequence
 from repro.runtime.plan import SharedCleaningPlan
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: How much slower than the best measured engine the statically advised
 #: one may be before ``routing_ok`` flips false.  Generous enough to
@@ -77,11 +92,40 @@ _PHASES = (
 
 DURATIONS = (400, 800, 1600)
 
+#: The kernel block's wide workload: this many locations per level, all
+#: candidates everywhere, so each edge level carries thousands of edges
+#: and the level sweep (not the python interpreter's per-level overhead)
+#: dominates.  96 locations at duration 1600 is ~9.2k edges per level.
+KERNEL_WIDTH = 96
+KERNEL_DURATION = 1600
+KERNEL_SMOKE_DURATION = 96
+
 
 def make_instance(duration: int) -> LSequence:
     """The periodic l-sequence ``bench_scaling`` sweeps."""
     return LSequence([dict(_PHASES[tau % len(_PHASES)])
                       for tau in range(duration)])
+
+
+def make_wide_instance(duration: int,
+                       width: int = KERNEL_WIDTH):
+    """The kernel block's workload: wide levels, mild pruning.
+
+    Weights vary deterministically with position and time so no two
+    levels are trivially uniform; the two DU constraints prune a little
+    without collapsing the level width.
+    """
+    names = [f"L{i:02d}" for i in range(width)]
+    rows = []
+    for tau in range(duration):
+        weights = [1.0 + ((i * 7 + tau * 3) % 13) / 13.0
+                   for i in range(width)]
+        total = sum(weights)
+        rows.append({name: w / total
+                     for name, w in zip(names, weights)})
+    constraints = ConstraintSet([Unreachable(names[0], names[1]),
+                                 Unreachable(names[2], names[3])])
+    return LSequence(rows), constraints
 
 
 def _flat(graph) -> Dict[str, object]:
@@ -101,9 +145,69 @@ def _best_of(repeats: int, build) -> float:
     return best
 
 
-def run(durations: Sequence[int], repeats: int) -> Dict[str, object]:
+def _timed_builds(repeats: int, build):
+    """Best-of wall/sweep seconds over ``repeats`` builds, plus a graph."""
+    best_wall = float("inf")
+    best_sweep = float("inf")
+    graph = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        graph = build()
+        best_wall = min(best_wall, time.perf_counter() - started)
+        best_sweep = min(best_sweep, graph.stats.sweep_seconds)
+    return best_wall, best_sweep, graph
+
+
+def run_kernel(duration: int, repeats: int) -> Dict[str, object]:
+    """The kernel block: python vs numpy flat builds of the wide workload."""
+    lsequence, constraints = make_wide_instance(duration)
+    python_options = CleaningOptions(engine="compact", materialize="flat",
+                                     backend="python")
+    numpy_options = CleaningOptions(engine="compact", materialize="flat",
+                                    backend="numpy")
+    python_build, python_sweep, oracle = _timed_builds(
+        repeats, lambda: build_ct_graph(lsequence, constraints,
+                                        python_options))
+    levels = max(1, duration - 1)
+    block: Dict[str, object] = {
+        "measured": False,
+        "width": KERNEL_WIDTH,
+        "duration": duration,
+        "edges": oracle.num_edges,
+        "edges_per_level": oracle.num_edges / levels,
+        "python_build_seconds": python_build,
+        "python_sweep_seconds": python_sweep,
+        "numpy_build_seconds": None,
+        "numpy_sweep_seconds": None,
+        "build_speedup": None,
+        "kernel_speedup": None,
+        "parity": None,
+    }
+    if not kernels.numpy_available():
+        return block
+    numpy_build, numpy_sweep, vectorized = _timed_builds(
+        repeats, lambda: build_ct_graph(lsequence, constraints,
+                                        numpy_options))
+    block.update({
+        "measured": True,
+        "numpy_build_seconds": numpy_build,
+        "numpy_sweep_seconds": numpy_sweep,
+        "build_speedup": python_build / numpy_build,
+        "kernel_speedup": python_sweep / numpy_sweep,
+        # Bit-identical flat forms, stats counters included (timing
+        # fields are excluded from CleaningStats equality).
+        "parity": (vectorized == oracle
+                   and vectorized.stats == oracle.stats),
+    })
+    return block
+
+
+def run(durations: Sequence[int], repeats: int, backend: str,
+        kernel_duration: int, kernel_repeats: int) -> Dict[str, object]:
     reference_options = CleaningOptions(engine="reference")
     compact_options = CleaningOptions(engine="compact")
+    flat_options = CleaningOptions(engine="compact", materialize="flat",
+                                   backend=backend)
     results: List[Dict[str, object]] = []
     all_identical = True
     all_routing_ok = True
@@ -114,8 +218,10 @@ def run(durations: Sequence[int], repeats: int) -> Dict[str, object]:
                                          reference_options)
         compact_graph = build_ct_graph(lsequence, CONSTRAINTS,
                                        compact_options)
+        flat_graph = build_ct_graph(lsequence, CONSTRAINTS, flat_options)
         identical = (_flat(reference_graph) == _flat(compact_graph)
-                     and reference_graph.stats == compact_graph.stats)
+                     and reference_graph.stats == compact_graph.stats
+                     and flat_graph == compact_graph.to_flat())
         all_identical = all_identical and identical
 
         reference_seconds = _best_of(
@@ -129,6 +235,9 @@ def run(durations: Sequence[int], repeats: int) -> Dict[str, object]:
         warm_seconds = _best_of(
             repeats, lambda: build_ct_graph(lsequence, CONSTRAINTS,
                                             compact_options, plan=plan))
+        flat_seconds = _best_of(
+            repeats, lambda: build_ct_graph(lsequence, CONSTRAINTS,
+                                            flat_options))
 
         advice = advise(lsequence, CONSTRAINTS)
         timed = {"reference": reference_seconds,
@@ -159,6 +268,9 @@ def run(durations: Sequence[int], repeats: int) -> Dict[str, object]:
             "reference_seconds": reference_seconds,
             "compact_seconds": compact_seconds,
             "compact_warm_seconds": warm_seconds,
+            "flat_seconds": flat_seconds,
+            "backend": kernels.resolve_backend(
+                backend, reference_graph.num_edges / max(1, duration - 1)),
             "speedup": reference_seconds / compact_seconds,
             "warm_speedup": reference_seconds / warm_seconds,
             "forward_seconds": stats.forward_seconds,
@@ -171,6 +283,9 @@ def run(durations: Sequence[int], repeats: int) -> Dict[str, object]:
             "routing_ok": routing_ok,
         })
 
+    kernel = run_kernel(kernel_duration, kernel_repeats)
+    all_identical = all_identical and kernel["parity"] is not False
+
     headline = results[-1]
     return {
         "benchmark": "bench_engine",
@@ -178,6 +293,7 @@ def run(durations: Sequence[int], repeats: int) -> Dict[str, object]:
         "created_unix": time.time(),
         "cpu_count": os.cpu_count(),
         "repeats": repeats,
+        "backend": backend,
         "workload": {
             "generator": "synthetic-phase4",
             "durations": list(durations),
@@ -187,8 +303,12 @@ def run(durations: Sequence[int], repeats: int) -> Dict[str, object]:
         # duration of the sweep (best-of-``repeats`` on both sides).
         "speedup": headline["speedup"],
         "warm_speedup": headline["warm_speedup"],
+        # The kernel headline: sweep-proper python/numpy ratio on the
+        # wide workload (None when numpy is unavailable).
+        "kernel_speedup": kernel["kernel_speedup"],
         "identical_output": all_identical,
         "routing_ok": all_routing_ok,
+        "kernel": kernel,
         "results": results,
     }
 
@@ -218,9 +338,50 @@ def validate_payload(payload: Dict[str, object]) -> List[str]:
     for key in ("speedup", "warm_speedup"):
         expect(isinstance(payload.get(key), float) and payload[key] > 0.0,
                f"{key} must be a positive float")
+    expect(payload.get("backend") in BACKENDS,
+           f"backend must be one of {BACKENDS}")
     expect(payload.get("identical_output") is True,
            "identical_output must be true — the compact engine diverged "
            "from the reference builder")
+    kernel = payload.get("kernel")
+    if not isinstance(kernel, dict):
+        problems.append("kernel block missing")
+    else:
+        expect(isinstance(kernel.get("width"), int) and kernel["width"] > 0
+               and isinstance(kernel.get("duration"), int)
+               and kernel["duration"] > 0
+               and isinstance(kernel.get("edges"), int)
+               and kernel["edges"] > 0
+               and isinstance(kernel.get("edges_per_level"), float)
+               and kernel["edges_per_level"] > 0.0
+               and isinstance(kernel.get("python_build_seconds"), float)
+               and kernel["python_build_seconds"] > 0.0
+               and isinstance(kernel.get("python_sweep_seconds"), float)
+               and kernel["python_sweep_seconds"] > 0.0
+               and isinstance(kernel.get("measured"), bool),
+               "kernel block malformed")
+        if kernel.get("measured"):
+            expect(isinstance(kernel.get("kernel_speedup"), float)
+                   and kernel["kernel_speedup"] > 0.0
+                   and isinstance(kernel.get("build_speedup"), float)
+                   and kernel["build_speedup"] > 0.0
+                   and isinstance(kernel.get("numpy_build_seconds"), float)
+                   and kernel["numpy_build_seconds"] > 0.0
+                   and isinstance(kernel.get("numpy_sweep_seconds"), float)
+                   and kernel["numpy_sweep_seconds"] > 0.0,
+                   "measured kernel block needs positive numpy timings "
+                   "and speedups")
+            expect(kernel.get("parity") is True,
+                   "kernel parity must be true — the numpy flat build "
+                   "diverged from the python oracle")
+            expect(payload.get("kernel_speedup")
+                   == kernel.get("kernel_speedup"),
+                   "top-level kernel_speedup disagrees with the kernel "
+                   "block")
+        else:
+            expect(payload.get("kernel_speedup") is None,
+                   "kernel_speedup must be null when the kernel block "
+                   "was not measured")
     expect(payload.get("routing_ok") is True,
            "routing_ok must be true — the C010 advisor picked an engine "
            f"more than {ROUTING_SLACK}x slower than the best one")
@@ -239,6 +400,9 @@ def validate_payload(payload: Dict[str, object]) -> List[str]:
                     and entry["compact_seconds"] > 0.0
                     and isinstance(entry.get("compact_warm_seconds"), float)
                     and entry["compact_warm_seconds"] > 0.0
+                    and isinstance(entry.get("flat_seconds"), float)
+                    and entry["flat_seconds"] > 0.0
+                    and entry.get("backend") in ("python", "numpy")
                     and entry.get("identical_output") is True
                     and entry.get("advised_engine") in ("reference",
                                                         "compact")
@@ -262,10 +426,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         default=list(DURATIONS))
     parser.add_argument("--repeats", type=int, default=7,
                         help="best-of-N timing repeats per engine")
+    parser.add_argument("--backend", choices=BACKENDS, default="auto",
+                        help="sweep backend for the flat-build axis "
+                             "(the kernel block always compares python "
+                             "vs numpy)")
+    parser.add_argument("--kernel-duration", type=int,
+                        default=KERNEL_DURATION,
+                        help="duration of the kernel block's wide "
+                             "workload")
+    parser.add_argument("--kernel-repeats", type=int, default=3,
+                        help="best-of-N builds per backend in the "
+                             "kernel block")
     parser.add_argument("--out", default="BENCH_engine.json")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny CI workload (one 60-step object, "
-                             "2 repeats)")
+                             "2 repeats, short kernel block)")
     parser.add_argument("--check", metavar="FILE",
                         help="validate an existing result file and exit")
     args = parser.parse_args(argv)
@@ -277,15 +452,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for problem in problems:
             print(f"SCHEMA: {problem}", file=sys.stderr)
         if not problems:
+            kernel = payload.get("kernel_speedup")
+            kernel_text = (f", kernel {kernel:.2f}x" if kernel
+                           else ", kernel not measured")
             print(f"{args.check}: well-formed (speedup "
                   f"{payload['speedup']:.2f}x cold, "
-                  f"{payload['warm_speedup']:.2f}x warm)")
+                  f"{payload['warm_speedup']:.2f}x warm"
+                  f"{kernel_text})")
         return 1 if problems else 0
 
     if args.smoke:
         args.durations, args.repeats = [60], 2
+        args.kernel_duration = KERNEL_SMOKE_DURATION
+        args.kernel_repeats = 2
 
-    payload = run(args.durations, args.repeats)
+    payload = run(args.durations, args.repeats, args.backend,
+                  args.kernel_duration, args.kernel_repeats)
     problems = validate_payload(payload)
     if problems:
         for problem in problems:
@@ -301,7 +483,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"({entry['speedup']:.2f}x)  "
               f"warm {entry['compact_warm_seconds'] * 1000:7.1f} ms "
               f"({entry['warm_speedup']:.2f}x)  "
+              f"flat[{entry['backend']}] "
+              f"{entry['flat_seconds'] * 1000:7.1f} ms  "
               f"advised {entry['advised_engine']}")
+    kernel = payload["kernel"]
+    if kernel["measured"]:
+        print(f"kernel ({kernel['width']} locations x "
+              f"{kernel['duration']} steps, "
+              f"{kernel['edges_per_level']:.0f} edges/level): "
+              f"sweep {kernel['python_sweep_seconds'] * 1000:7.1f} ms -> "
+              f"{kernel['numpy_sweep_seconds'] * 1000:7.1f} ms "
+              f"({kernel['kernel_speedup']:.2f}x), build "
+              f"{kernel['python_build_seconds'] * 1000:7.1f} ms -> "
+              f"{kernel['numpy_build_seconds'] * 1000:7.1f} ms "
+              f"({kernel['build_speedup']:.2f}x), bit-identical")
+    else:
+        print("kernel: numpy unavailable, block not measured")
     print(f"headline: {payload['speedup']:.2f}x cold / "
           f"{payload['warm_speedup']:.2f}x warm, identical output, "
           f"routing ok")

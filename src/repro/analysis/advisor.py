@@ -22,6 +22,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.analysis.envelope import ConstraintEnvelope, estimate_graph_bytes
+from repro.core import kernels
 from repro.core.algorithm import CleaningOptions
 from repro.core.constraints import ConstraintSet
 from repro.core.lsequence import LSequence
@@ -56,6 +57,12 @@ class EngineAdvice:
     engine: str
     #: Advised materialisation ("nodes" or "flat").
     materialize: str
+    #: Advised sweep backend ("python" or "numpy"): numpy only when it is
+    #: available *and* the envelope predicts at least
+    #: :data:`repro.core.kernels.KERNEL_MIN_LEVEL_EDGES` mean edges per
+    #: edge level — below that the whole-level ndarray overhead loses to
+    #: the plain loops.
+    backend: str
     #: Envelope upper bound on total node states.
     predicted_states: int
     #: Envelope upper bound on the widest level.
@@ -87,8 +94,13 @@ def advise(lsequence: LSequence, constraints: ConstraintSet, *,
     widths = envelope.width_bounds()
     total = sum(widths)
     peak = max(widths) if widths else 0
-    node_bytes, flat_bytes = estimate_graph_bytes(widths,
-                                                  envelope.edge_bounds())
+    edges = envelope.edge_bounds()
+    node_bytes, flat_bytes = estimate_graph_bytes(widths, edges)
+    # Backend advice mirrors QuerySession's measured-width resolution,
+    # but statically: the envelope's edge bounds predict the mean edges
+    # per edge level before anything is built.
+    mean_edges = sum(edges) / len(edges) if edges else 0.0
+    backend = kernels.resolve_backend("auto", mean_edges)
     if envelope.proves_zero_mass:
         engine = "reference"
         reason = ("the envelope empties at timestep "
@@ -109,6 +121,7 @@ def advise(lsequence: LSequence, constraints: ConstraintSet, *,
     return EngineAdvice(
         engine=engine,
         materialize=materialize,
+        backend=backend,
         predicted_states=total,
         peak_level_width=peak,
         predicted_node_bytes=node_bytes,
@@ -123,19 +136,24 @@ def recommend_options(lsequence: LSequence, constraints: ConstraintSet,
                       base: Optional[CleaningOptions] = None, *,
                       envelope: Optional[ConstraintEnvelope] = None
                       ) -> CleaningOptions:
-    """Resolve ``engine="auto"`` in ``base`` from the static envelope.
+    """Resolve ``engine="auto"``/``backend="auto"`` from the static envelope.
 
-    An explicit engine choice is respected untouched.  Only the engine is
-    rewritten: ``materialize`` stays consumption-driven (the batch runtime
-    already resolves it from whether graphs are kept), and the advice
+    Explicit choices are respected untouched, and the two fields resolve
+    independently — an explicit engine never blocks backend advice and
+    vice versa.  ``materialize`` stays consumption-driven (the batch
+    runtime already resolves it from whether graphs are kept); the advice
     object's ``materialize``/byte fields remain available through
     :func:`advise` for callers that want the memory verdict too.
     """
     if base is None:
         base = CleaningOptions()
-    if base.engine != "auto":
+    if base.engine != "auto" and base.backend != "auto":
         return base
     advice = advise(lsequence, constraints,
                     strict_truncation=base.strict_truncation,
                     envelope=envelope)
-    return replace(base, engine=advice.engine)
+    return replace(
+        base,
+        engine=base.engine if base.engine != "auto" else advice.engine,
+        backend=(base.backend if base.backend != "auto"
+                 else advice.backend))

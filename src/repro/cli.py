@@ -20,7 +20,12 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
-from repro.core.algorithm import ENGINES, CleaningOptions, build_ct_graph
+from repro.core.algorithm import (
+    BACKENDS,
+    ENGINES,
+    CleaningOptions,
+    build_ct_graph,
+)
 from repro.core.ctgraph import CTGraph
 from repro.core.lsequence import LSequence
 from repro.experiments.harness import (
@@ -73,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
     clean.add_argument("--engine", choices=ENGINES, default="auto",
                        help="cleaning engine: auto picks the compact one "
                             "for long objects (both are bit-identical)")
+    clean.add_argument("--backend", choices=BACKENDS, default="python",
+                       help="level-sweep backend: numpy vectorises the "
+                            "backward sweep on flat builds, auto picks by "
+                            "level width (results match the python oracle)")
     clean.add_argument("--stats", action="store_true",
                        help="also print the construction counters and "
                             "per-phase timings")
@@ -93,6 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="clean only the first N trajectories")
     clean_many_cmd.add_argument("--engine", choices=ENGINES, default="auto",
                                 help="cleaning engine used by the workers")
+    clean_many_cmd.add_argument("--backend", choices=BACKENDS,
+                                default="python",
+                                help="level-sweep backend used by the "
+                                     "workers")
     clean_many_cmd.add_argument("--timeout", type=float, default=None,
                                 metavar="SECONDS",
                                 help="per-object wall-clock budget; an "
@@ -118,6 +131,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--engine", choices=ENGINES, default="auto",
                        help="cleaning engine feeding the query (results "
                             "are bit-identical)")
+    query.add_argument("--backend", choices=BACKENDS, default="python",
+                       help="level-sweep backend for cleaning and for the "
+                            "QuerySession sweeps (with --flat)")
     query.add_argument("--flat", action="store_true",
                        help="clean straight to the flat columnar form and "
                             "answer through a QuerySession (same numbers, "
@@ -165,6 +181,9 @@ def build_parser() -> argparse.ArgumentParser:
     ql.add_argument("--index", type=int, default=0)
     ql.add_argument("--engine", choices=ENGINES, default="auto",
                     help="cleaning engine feeding the statements")
+    ql.add_argument("--backend", choices=BACKENDS, default="python",
+                    help="level-sweep backend for cleaning and for the "
+                         "QuerySession sweeps (with --flat)")
     ql.add_argument("--flat", action="store_true",
                     help="clean straight to the flat columnar form; all "
                          "statements then share one QuerySession's sweeps")
@@ -203,7 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_cmd = sub.add_parser(
         "lint", help="run the engine-invariant linter (repro.lint, rules "
-                     "L001-L008) over source paths")
+                     "L001-L009) over source paths")
     lint_cmd.add_argument("paths", nargs="*",
                           help="files or directories to lint (recursively)")
     lint_cmd.add_argument("--format", choices=["text", "json"],
@@ -247,10 +266,11 @@ def _cleaned_graph(dataset, args):
     constraints = infer_constraints(dataset.building, MotilityProfile(),
                                     kinds=kinds, distances=dataset.distances)
     lsequence = LSequence.from_readings(trajectory.readings, dataset.prior)
-    # Commands without --engine/--flat funnel through here with the
-    # defaults (auto engine, node materialisation).
+    # Commands without --engine/--backend/--flat funnel through here with
+    # the defaults (auto engine, python backend, node materialisation).
     options = CleaningOptions(
         engine=getattr(args, "engine", "auto"),
+        backend=getattr(args, "backend", "python"),
         materialize="flat" if getattr(args, "flat", False) else "auto")
     return trajectory, lsequence, build_ct_graph(lsequence, constraints,
                                                  options)
@@ -308,7 +328,8 @@ def _command_clean_many(args: argparse.Namespace) -> int:
                                     kinds=kinds, distances=dataset.distances)
     # Raw readings go in; the workers interpret them through the prior.
     result = clean_many([t.readings for t in trajectories], constraints,
-                        options=CleaningOptions(engine=args.engine),
+                        options=CleaningOptions(engine=args.engine,
+                                                backend=args.backend),
                         workers=args.workers, chunk_size=args.chunk_size,
                         prior=dataset.prior, timeout_seconds=args.timeout,
                         max_retries=args.max_retries)
@@ -369,7 +390,8 @@ def _command_query(args: argparse.Namespace) -> int:
     clean_started = time.perf_counter()
     trajectory, lsequence, graph = _cleaned_graph(dataset, args)
     clean_seconds = time.perf_counter() - clean_started
-    session = None if isinstance(graph, CTGraph) else QuerySession(graph)
+    session = None if isinstance(graph, CTGraph) else \
+        QuerySession(graph, backend=args.backend)
     truth = tuple(trajectory.truth.locations)
     did_something = False
     query_started = time.perf_counter()
@@ -512,7 +534,8 @@ def _command_ql(args: argparse.Namespace) -> int:
     clean_started = time.perf_counter()
     _, _, graph = _cleaned_graph(dataset, args)
     clean_seconds = time.perf_counter() - clean_started
-    target = graph if isinstance(graph, CTGraph) else QuerySession(graph)
+    target = graph if isinstance(graph, CTGraph) else \
+        QuerySession(graph, backend=args.backend)
     query_started = time.perf_counter()
     for statement in args.statements:
         result = execute(target, statement)

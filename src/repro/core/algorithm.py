@@ -49,12 +49,13 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Union
 
 from repro.core.constraints import ConstraintSet
 from repro.core.ctgraph import CTGraph, CTNode
 from repro.core.flatgraph import FlatCTGraph
+from repro.core.kernels import BACKENDS as _kernel_backends
 from repro.core.lsequence import LSequence, ReadingSequence
 from repro.core.nodes import (
     DepartureFilter,
@@ -80,6 +81,11 @@ ENGINES = ("auto", "reference", "compact")
 #: columnar :class:`~repro.core.flatgraph.FlatCTGraph` (``"flat"``).
 MATERIALIZE_MODES = ("auto", "nodes", "flat")
 
+#: The sweep backends (see :mod:`repro.core.kernels`): pure-python loops
+#: (default, the parity oracle), optional numpy level kernels, or
+#: advisor-routed ``"auto"``.
+BACKENDS = _kernel_backends
+
 #: Fallback duration threshold for ``engine="auto"``: below it the
 #: reference builder's lower fixed cost wins, above it the memoised
 #: transition rows dominate.  :func:`build_ct_graph` now routes ``auto``
@@ -100,28 +106,39 @@ def _resolve_engine(engine: str, duration: int) -> str:
     return engine
 
 
-def _route_engine(options: "CleaningOptions", lsequence: LSequence,
-                  constraints: ConstraintSet, plan=None) -> str:
-    """The concrete engine for one :func:`build_ct_graph` run.
+def _route_options(options: "CleaningOptions", lsequence: LSequence,
+                   constraints: ConstraintSet,
+                   plan=None) -> "CleaningOptions":
+    """The concrete options for one :func:`build_ct_graph` run.
 
-    An explicit choice passes through.  ``auto`` asks the static advisor
-    (:func:`repro.analysis.advisor.recommend_options`) to predict the
-    ct-graph's state count from the constraint envelope — through the
-    plan's advice cache when a :class:`~repro.runtime.plan.\
-SharedCleaningPlan` is supplied, so periodic batch workloads pay for one
-    envelope per support signature rather than one per object.  Duck-typed
-    plans without an ``advice_for`` method fall back to the direct path.
+    Explicit ``engine`` and ``backend`` choices pass through.  ``auto``
+    in either field asks the static advisor
+    (:func:`repro.analysis.advisor.recommend_options`) — engine routed by
+    the predicted state count, backend by the predicted mean edges per
+    level — through the plan's advice cache when a
+    :class:`~repro.runtime.plan.SharedCleaningPlan` is supplied, so
+    periodic batch workloads pay for one envelope per support signature
+    rather than one per object.  The two fields resolve independently:
+    an explicit choice in one never blocks advice for the other.
+    Duck-typed plans without an ``advice_for`` method fall back to the
+    direct path.
     """
-    if options.engine != "auto":
-        return options.engine
+    if options.engine != "auto" and options.backend != "auto":
+        return options
     if plan is not None:
         advice_for = getattr(plan, "advice_for", None)
         if advice_for is not None:
-            return advice_for(lsequence, options).engine
+            advice = advice_for(lsequence, options)
+            return replace(
+                options,
+                engine=(options.engine if options.engine != "auto"
+                        else advice.engine),
+                backend=(options.backend if options.backend != "auto"
+                         else advice.backend))
     # Imported lazily: repro.analysis depends on this module.
     from repro.analysis.advisor import recommend_options
 
-    return recommend_options(lsequence, constraints, options).engine
+    return recommend_options(lsequence, constraints, options)
 
 
 @dataclass(frozen=True)
@@ -163,12 +180,27 @@ class CleaningOptions:
     graphs.  Both shapes carry the same information for queries and are
     bit-identical with each other (``CTGraph.to_flat``); see
     ``docs/perf.md``.
+
+    ``backend`` — how the compact engine's backward survival sweep and
+    flat materialisation run: ``"python"`` (default) uses the pure-python
+    loops, which remain the parity oracle; ``"numpy"`` runs the
+    whole-level ndarray kernels of :mod:`repro.core.kernels` when numpy
+    is importable (silently falling back otherwise); ``"auto"`` lets the
+    static advisor engage the kernels only above the calibrated
+    edges-per-level threshold.  Kernel results are pinned to the oracle
+    by the tolerance gate documented in ``docs/perf.md``: identical graph
+    structure and tie-breaks, floats equal to 1e-12 relative.  The
+    backend only affects flat-materialised compact builds (and
+    :class:`~repro.queries.session.QuerySession` sweeps, which take
+    their own ``backend`` argument); node-materialised and reference
+    builds always run in python.
     """
 
     truncated_stay_policy: str = "lenient"
     precheck: str = "off"
     engine: str = "auto"
     materialize: str = "auto"
+    backend: str = "python"
 
     def __post_init__(self) -> None:
         if self.truncated_stay_policy not in TRUNCATED_STAY_POLICIES:
@@ -188,6 +220,10 @@ class CleaningOptions:
             raise ReadingSequenceError(
                 f"unknown materialize mode {self.materialize!r}; "
                 f"expected one of {MATERIALIZE_MODES}")
+        if self.backend not in BACKENDS:
+            raise ReadingSequenceError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of {BACKENDS}")
 
     @property
     def strict_truncation(self) -> bool:
@@ -212,6 +248,14 @@ class CleaningStats:
     #: equality — two identical cleanings never time identically.
     forward_seconds: float = field(default=0.0, compare=False)
     backward_seconds: float = field(default=0.0, compare=False)
+    #: Wall-clock seconds of the backward survival sweep *proper* (edge
+    #: weights, per-node masses, rescaled survivals — everything before
+    #: materialisation starts).  Filled by the compact engine only, for
+    #: both backends: this is the slice the optional numpy kernels
+    #: replace, so ``benchmarks/bench_engine``'s ``kernel_speedup`` is
+    #: the ratio of these.  ``backward_seconds`` still covers sweep plus
+    #: materialisation.
+    sweep_seconds: float = field(default=0.0, compare=False)
 
     @property
     def nodes_kept(self) -> int:
@@ -246,12 +290,13 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
         raise ReadingSequenceError(
             "the shared cleaning plan was built for a different "
             "constraint set")
-    if _route_engine(options, lsequence, constraints, plan) == "compact":
+    routed = _route_options(options, lsequence, constraints, plan)
+    if routed.engine == "compact":
         # The compact engine owns the whole contract (plan validation,
         # pre-check, stats); imported lazily to keep the module DAG simple.
         from repro.core.engine import build_ct_graph_compact
 
-        return build_ct_graph_compact(lsequence, constraints, options,
+        return build_ct_graph_compact(lsequence, constraints, routed,
                                       plan=plan)
     if plan is not None:
         plan.precheck(lsequence, options)

@@ -70,10 +70,21 @@ class IncrementalCleaner:
         """Append one timestep's location distribution and advance.
 
         Raises :class:`InconsistentReadingsError` when no valid
-        continuation exists (the stream contradicts the constraints); the
-        cleaner's state is unchanged in that case, so the caller may drop
-        the offending reading and continue.
+        continuation exists (the stream contradicts the constraints), and
+        :class:`ReadingSequenceError` when a candidate probability is
+        NaN, infinite, or negative — malformed input is rejected, never
+        silently dropped (NaN fails every ``>`` test, so the floor filter
+        alone would swallow it).  The cleaner's state is unchanged in
+        either case, so the caller may drop the offending reading and
+        continue.
         """
+        for location, p in candidates.items():
+            value = float(p)
+            if not (value >= 0.0 and math.isfinite(value)):
+                raise ReadingSequenceError(
+                    f"timestep {self.duration}: probability of "
+                    f"{location!r} is {value!r}; candidate probabilities "
+                    "must be finite and non-negative")
         row = {location: float(p) for location, p in candidates.items()
                if p > _PROBABILITY_FLOOR}
         if not row:

@@ -110,6 +110,17 @@ class LSequence:
             raise ReadingSequenceError("an l-sequence cannot be empty")
         cleaned: List[Dict[str, float]] = []
         for tau, row in enumerate(candidates):
+            # Malformed probabilities are rejected even with
+            # ``_validate=False`` (prior-model paths): NaN fails every
+            # ``>`` test, so the positivity floor below would silently
+            # swallow it instead of surfacing the bad input.
+            for loc, p in row.items():
+                value = float(p)
+                if not (value >= 0.0 and math.isfinite(value)):
+                    raise ReadingSequenceError(
+                        f"timestep {tau}: probability of {loc!r} is "
+                        f"{value!r}; candidate probabilities must be "
+                        "finite and non-negative")
             entries = {loc: float(p) for loc, p in row.items()
                        if p > _PROBABILITY_FLOOR}
             if not entries:

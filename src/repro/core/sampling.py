@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - no-numpy environments
+    from repro.optional import missing_dependency
+
+    np = missing_dependency("numpy", "repro[numpy]")  # type: ignore[assignment]
 
 from repro.core.constraints import ConstraintSet
 from repro.core.ctgraph import CTGraph, CTNode

@@ -22,7 +22,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - no-numpy environments
+    from repro.optional import missing_dependency
+
+    np = missing_dependency("numpy", "repro[numpy]")  # type: ignore[assignment]
 
 from repro.core.algorithm import CleaningOptions, build_ct_graph
 from repro.core.ctgraph import CTGraph

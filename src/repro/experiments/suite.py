@@ -135,7 +135,12 @@ def _shape_checklist(result: SuiteResult) -> List[str]:
     if {"CTG(DU)", "CTG(DU,LT,TT)"} <= set(by_config):
         du = sum(m.mean_seconds for m in by_config["CTG(DU)"])
         full = sum(m.mean_seconds for m in by_config["CTG(DU,LT,TT)"])
-        check("cleaning cost DU <= DU+LT+TT", du <= full)
+        # Wall-clock shape, so it needs jitter slack: at small scales
+        # both sums are a few milliseconds and scheduler noise can
+        # invert them.  The paper's claim is the trend, not a
+        # microsecond-exact ordering.
+        check("cleaning cost DU <= DU+LT+TT (10% + 5ms slack)",
+              du <= full * 1.10 + 0.005)
         du_size = sum(m.mean_bytes for m in by_config["CTG(DU)"])
         full_size = sum(m.mean_bytes for m in by_config["CTG(DU,LT,TT)"])
         check("graph size DU <= DU+LT+TT", du_size <= full_size)

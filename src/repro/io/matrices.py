@@ -10,7 +10,12 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Union
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - no-numpy environments
+    from repro.optional import missing_dependency
+
+    np = missing_dependency("numpy", "repro[numpy]")  # type: ignore[assignment]
 
 from repro.errors import ReproError
 from repro.mapmodel.building import Building

@@ -4,7 +4,7 @@ Tier 2 of the repo's static-analysis stack (tier 1 is
 :mod:`repro.analysis`, which analyses the *data* — constraints and
 readings; this package analyses the *code*).  A pluggable AST-visitor
 framework (:mod:`repro.lint.registry`) runs the registered rules
-L001-L008 (:mod:`repro.lint.rules`) over source trees: invariants
+L001-L009 (:mod:`repro.lint.rules`) over source trees: invariants
 ruff/mypy cannot express — interning immutability, worker-boundary
 picklability, bit-exact determinism, ``python -O`` survival, CSR index
 discipline.  ``docs/lint.md`` is the rule catalog.

@@ -90,7 +90,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """The ``python -m repro.lint`` / ``rfid-ctg lint`` entry point."""
     parser = argparse.ArgumentParser(
         prog="repro.lint",
-        description="Engine-invariant AST lint (rules L001-L008; see "
+        description="Engine-invariant AST lint (rules L001-L009; see "
                     "docs/lint.md).  Stdlib only.")
     parser.add_argument("paths", nargs="*",
                         help="files or directories to lint (recursively)")

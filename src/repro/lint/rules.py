@@ -1,11 +1,11 @@
-"""The built-in engine-invariant rules, L001-L008.
+"""The built-in engine-invariant rules, L001-L009.
 
 L001-L003 are the three historical ``tools/check_invariants.py`` rules
-(INV001-INV003), promoted unchanged.  L004-L008 machine-check invariants
+(INV001-INV003), promoted unchanged.  L004-L009 machine-check invariants
 specific to the cleaning engines that ruff/mypy cannot express: interning
 immutability, worker-boundary picklability, bit-exact determinism,
-``python -O`` survival, and CSR index discipline.  ``docs/lint.md`` is
-the narrative catalog.
+``python -O`` survival, CSR index discipline, and aliased mutable
+initializers.  ``docs/lint.md`` is the narrative catalog.
 """
 
 from __future__ import annotations
@@ -55,9 +55,12 @@ CSR_COLUMN_ATTRS = frozenset({
     "edge_offsets", "edge_children", "edge_probabilities",
 })
 
-#: Modules allowed to do raw CSR index arithmetic: the flat graph itself
-#: and the columnar query layer built around its accessors.
-CSR_ACCESSOR_PATHS = ("repro/core/flatgraph.py", "repro/queries/")
+#: Modules allowed to do raw CSR index arithmetic: the flat graph itself,
+#: the ndarray view layer that converts its columns, and the columnar
+#: query layer built around its accessors.  Entries ending in ``.py``
+#: match one module exactly; entries ending in ``/`` match a package.
+CSR_ACCESSOR_PATHS = ("repro/core/flatgraph.py", "repro/core/kernels.py",
+                      "repro/queries/")
 
 
 def _is_fractional_float(node: ast.expr) -> bool:
@@ -326,10 +329,12 @@ class CsrIndexingRule(LintRule):
 
     def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
         normalized = path.replace("\\", "/")
-        if normalized.endswith(CSR_ACCESSOR_PATHS[0]):
-            return
-        if any(part in normalized for part in CSR_ACCESSOR_PATHS[1:]):
-            return
+        for part in CSR_ACCESSOR_PATHS:
+            if part.endswith(".py"):
+                if normalized.endswith(part):
+                    return
+            elif part in normalized:
+                return
         for node in ast.walk(tree):
             if (isinstance(node, ast.Subscript)
                     and isinstance(node.value, ast.Attribute)
@@ -339,3 +344,45 @@ class CsrIndexingRule(LintRule):
                     f"raw subscript of CSR column `{node.value.attr}` "
                     f"outside the accessor layer; use the FlatCTGraph/"
                     f"query-session helpers")
+
+
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_element(node: ast.expr) -> bool:
+    """An element whose identity would be shared by sequence repetition."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CONSTRUCTORS)
+
+
+@register
+class MultipliedMutableRule(LintRule):
+    code = "L009"
+    title = "no multiplied mutable-literal initializers"
+    rationale = (
+        "`[[]] * n` repeats the *same* list object n times, so a write "
+        "through one slot appears in every slot — the aliasing stays "
+        "latent until the first in-place mutation (the QuerySession "
+        "suffix-row bug).  Repetition of immutable elements "
+        "(`[0.0] * n`) is fine; build mutable rows with a comprehension "
+        "(`[[] for _ in range(n)]`).")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.Mult)):
+                continue
+            for operand in (node.left, node.right):
+                if (isinstance(operand, (ast.List, ast.Tuple, ast.Set))
+                        and any(_is_mutable_element(element)
+                                for element in operand.elts)):
+                    yield self.finding(
+                        path, node.lineno,
+                        "sequence repetition of a mutable literal aliases "
+                        "one object into every slot; use a comprehension "
+                        "([[] for _ in range(n)])")
+                    break

@@ -17,7 +17,12 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - no-numpy environments
+    from repro.optional import missing_dependency
+
+    np = missing_dependency("numpy", "repro[numpy]")  # type: ignore[assignment]
 
 from repro.errors import MapModelError
 from repro.geometry import Point

@@ -32,14 +32,31 @@ the parity query-by-query.
 ``most_likely_trajectory`` and ``top_k_trajectories`` share the
 deterministic lexicographic tie-break with the object path (see
 :func:`repro.queries.analytics.most_likely_trajectory`).
+
+**Backends** — the shared sweeps (alphas, max-product suffixes, the
+marginal/entropy/expected-visit reductions and the visit/span restricted
+flows) optionally run as whole-level ndarray kernels
+(:mod:`repro.core.kernels`) over cached ``GraphViews``:
+``QuerySession(graph, backend="numpy")`` opts in, ``"auto"`` engages them
+above the calibrated width threshold, and ``"python"`` (the default)
+always runs the loops above, which remain the parity oracle.  Kernel
+sweeps are pinned to the oracle by the documented tolerance gate
+(``docs/perf.md``): discrete structure — dict key sets, tie-breaks,
+top-k order — stays exact; floats agree to 1e-12 relative.  The
+trajectory-extraction and histogram DPs (:meth:`most_likely_trajectory`,
+:meth:`top_k_trajectories`, :meth:`first_visit_distribution`,
+:meth:`time_at_location_distribution`) always run in python — their
+per-path bookkeeping does not vectorise and their tie-breaks must stay
+bit-exact — but they consume the kernel suffix rows, which are exact.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core import kernels
 from repro.core.ctgraph import CTGraph
 from repro.core.flatgraph import FlatCTGraph
 from repro.core.lsequence import Trajectory
@@ -60,12 +77,21 @@ class QuerySession:
     Sessions are not thread-safe (caches are plain dicts).
     """
 
-    def __init__(self, graph: Union[CTGraph, FlatCTGraph]) -> None:
+    def __init__(self, graph: Union[CTGraph, FlatCTGraph],
+                 backend: str = "python") -> None:
         if isinstance(graph, CTGraph):
             graph = graph.to_flat()
         self.graph = graph
+        edge_levels = graph.duration - 1
+        #: The *resolved* sweep backend ("python" or "numpy"); "auto"
+        #: resolves here from the graph's measured mean edges per level.
+        self.backend = kernels.resolve_backend(
+            backend,
+            graph.num_edges / edge_levels if edge_levels else 0.0)
+        self._views: Optional[kernels.GraphViews] = None
         self._alphas: Optional[List[List[float]]] = None
-        self._suffixes: Optional[List[List[float]]] = None
+        self._alpha_rows: Optional[List[Sequence[float]]] = None
+        self._suffixes: Optional[List[Sequence[float]]] = None
         self._marginals: Dict[int, Dict[str, float]] = {}
         self._entropies: Optional[List[float]] = None
         self._visit_counts: Optional[Dict[str, float]] = None
@@ -86,52 +112,81 @@ class QuerySession:
     def duration(self) -> int:
         return self.graph.duration
 
+    def _level_views(self) -> kernels.GraphViews:
+        """The session's cached ndarray views (numpy backend only)."""
+        if self._views is None:
+            self._views = kernels.GraphViews(self.graph)
+        return self._views
+
+    def _alpha_levels(self) -> List[Sequence[float]]:
+        """The alpha rows in backend-native form (lists or ndarrays)."""
+        if self._alpha_rows is None:
+            if self.backend == "numpy":
+                self._alpha_rows = kernels.alphas(self._level_views())
+            else:
+                graph = self.graph
+                rows: List[List[float]] = [list(graph.source_probabilities)]
+                for tau in range(graph.duration - 1):
+                    offsets = graph.edge_offsets[tau]
+                    children = graph.edge_children[tau]
+                    probabilities = graph.edge_probabilities[tau]
+                    row = rows[tau]
+                    next_row = [0.0] * len(graph.locations[tau + 1])
+                    for i in range(len(row)):
+                        mass = row[i]
+                        if mass == 0.0:
+                            continue
+                        for e in range(offsets[i], offsets[i + 1]):
+                            next_row[children[e]] += mass * probabilities[e]
+                    rows.append(next_row)
+                self._alpha_rows = rows
+        return self._alpha_rows
+
     def alphas(self) -> List[List[float]]:
         """The forward pass: P(trajectory passes through node), per level.
 
         The flat mirror of :meth:`CTGraph.node_marginals` — same skip
-        criterion (``mass == 0.0``), same accumulation order.
+        criterion (``mass == 0.0``), same accumulation order.  Always a
+        list of plain float lists, whichever backend computed it.
         """
         if self._alphas is None:
-            graph = self.graph
-            rows: List[List[float]] = [list(graph.source_probabilities)]
-            for tau in range(graph.duration - 1):
-                offsets = graph.edge_offsets[tau]
-                children = graph.edge_children[tau]
-                probabilities = graph.edge_probabilities[tau]
-                row = rows[tau]
-                next_row = [0.0] * len(graph.locations[tau + 1])
-                for i in range(len(row)):
-                    mass = row[i]
-                    if mass == 0.0:
-                        continue
-                    for e in range(offsets[i], offsets[i + 1]):
-                        next_row[children[e]] += mass * probabilities[e]
-                rows.append(next_row)
-            self._alphas = rows
+            rows = self._alpha_levels()
+            if self.backend == "numpy":
+                self._alphas = [row.tolist() for row in rows]  # type: ignore[union-attr]
+            else:
+                self._alphas = rows  # type: ignore[assignment]
         return self._alphas
 
-    def _best_suffixes(self) -> List[List[float]]:
-        """Max-product backward pass: each node's best completion value."""
+    def _best_suffixes(self) -> List[Sequence[float]]:
+        """Max-product backward pass: each node's best completion value.
+
+        Backend-native rows: plain lists on python, float64 arrays on
+        numpy — *bit-exact* either way (max of the same products), which
+        keeps :meth:`top_k_trajectories`'s expansion order identical.
+        """
         if self._suffixes is None:
-            graph = self.graph
-            rows: List[List[float]] = [[]] * graph.duration
-            rows[-1] = [1.0] * len(graph.locations[-1])
-            for tau in range(graph.duration - 2, -1, -1):
-                offsets = graph.edge_offsets[tau]
-                children = graph.edge_children[tau]
-                probabilities = graph.edge_probabilities[tau]
-                next_row = rows[tau + 1]
-                row = [0.0] * len(graph.locations[tau])
-                for i in range(len(row)):
-                    best = 0.0
-                    for e in range(offsets[i], offsets[i + 1]):
-                        value = probabilities[e] * next_row[children[e]]
-                        if value > best:
-                            best = value
-                    row[i] = best
-                rows[tau] = row
-            self._suffixes = rows
+            if self.backend == "numpy":
+                self._suffixes = kernels.best_suffixes(self._level_views())
+            else:
+                graph = self.graph
+                rows: List[Sequence[float]] = \
+                    [[] for _ in range(graph.duration)]
+                rows[-1] = [1.0] * len(graph.locations[-1])
+                for tau in range(graph.duration - 2, -1, -1):
+                    offsets = graph.edge_offsets[tau]
+                    children = graph.edge_children[tau]
+                    probabilities = graph.edge_probabilities[tau]
+                    next_row = rows[tau + 1]
+                    row = [0.0] * len(graph.locations[tau])
+                    for i in range(len(row)):
+                        best = 0.0
+                        for e in range(offsets[i], offsets[i + 1]):
+                            value = probabilities[e] * next_row[children[e]]
+                            if value > best:
+                                best = value
+                        row[i] = best
+                    rows[tau] = row
+                self._suffixes = rows
         return self._suffixes
 
     # ------------------------------------------------------------------
@@ -146,33 +201,60 @@ class QuerySession:
         if not 0 <= tau < graph.duration:
             raise QueryError(f"timestep {tau} outside [0, {graph.duration})")
         names = graph.location_names
-        lids = graph.locations[tau]
-        row = self.alphas()[tau]
         result: Dict[str, float] = {}
-        for i in range(len(lids)):
-            mass = row[i]
-            if mass > 0.0:
-                name = names[lids[i]]
-                result[name] = result.get(name, 0.0) + mass
+        if self.backend == "numpy":
+            masses = kernels.masses_by_location(
+                self._level_views(), tau, self._alpha_levels()[tau])
+            for lid in range(len(names)):
+                if masses[lid] > 0.0:
+                    result[names[lid]] = float(masses[lid])
+        else:
+            lids = graph.locations[tau]
+            row = self.alphas()[tau]
+            for i in range(len(lids)):
+                mass = row[i]
+                if mass > 0.0:
+                    name = names[lids[i]]
+                    result[name] = result.get(name, 0.0) + mass
         self._marginals[tau] = result
         return result
 
     def entropy_profile(self) -> List[float]:
         """Shannon entropy (bits) of the location marginal, per step."""
         if self._entropies is None:
-            self._entropies = [_entropy(self.location_marginal(tau))
-                               for tau in range(self.duration)]
+            if self.backend == "numpy":
+                views = self._level_views()
+                rows = self._alpha_levels()
+                self._entropies = [
+                    kernels.entropy_bits(
+                        kernels.masses_by_location(views, tau, rows[tau]))
+                    for tau in range(self.duration)]
+            else:
+                self._entropies = [_entropy(self.location_marginal(tau))
+                                   for tau in range(self.duration)]
         return self._entropies
 
     def expected_visit_counts(self) -> Dict[str, float]:
         """Expected number of timesteps spent at each location."""
         if self._visit_counts is None:
             totals: Dict[str, float] = {}
-            for tau in range(self.duration):
-                for location, probability in \
-                        self.location_marginal(tau).items():
-                    totals[location] = (totals.get(location, 0.0)
-                                        + probability)
+            if self.backend == "numpy":
+                views = self._level_views()
+                rows = self._alpha_levels()
+                names = self.graph.location_names
+                total = kernels.masses_by_location(views, 0, rows[0])
+                for tau in range(1, self.duration):
+                    total = total + kernels.masses_by_location(
+                        views, tau, rows[tau])
+                for lid in range(len(names)):
+                    if total[lid] > 0.0:
+                        totals[names[lid]] = float(total[lid])
+            else:
+                for tau in range(self.duration):
+                    for location, probability in \
+                            self.location_marginal(tau).items():
+                        totals[location] = (totals.get(location, 0.0)
+                                            + probability)
             self._visit_counts = totals
         return self._visit_counts
 
@@ -183,6 +265,13 @@ class QuerySession:
         """P(the object is at ``location`` at some timestep)."""
         graph = self.graph
         names = graph.location_names
+        if self.backend == "numpy":
+            try:
+                lid = names.index(location)
+            except ValueError:
+                lid = -1
+            total = kernels.avoidance_mass(self._level_views(), lid)
+            return min(1.0, max(0.0, 1.0 - total))
         lids = graph.locations[0]
         # Avoidance flow never goes negative, so dropping the reference's
         # explicit 0.0-mass dict entries cannot change any float
@@ -217,6 +306,14 @@ class QuerySession:
                 f"window [{start}, {end}] outside the graph's [0, "
                 f"{graph.duration})")
         names = graph.location_names
+        if self.backend == "numpy":
+            try:
+                lid = names.index(location)
+            except ValueError:
+                return 0.0
+            mass = kernels.span_mass(self._level_views(), lid, start, end,
+                                     self._alpha_levels()[start])
+            return min(1.0, mass)
         alphas = self.alphas()[start]
         lids = graph.locations[start]
         inside: Dict[int, float] = {}

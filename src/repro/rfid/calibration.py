@@ -14,7 +14,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - no-numpy environments
+    from repro.optional import missing_dependency
+
+    np = missing_dependency("numpy", "repro[numpy]")  # type: ignore[assignment]
 
 from repro.errors import CalibrationError
 from repro.mapmodel.grid import Grid

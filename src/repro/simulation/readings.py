@@ -13,7 +13,12 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - no-numpy environments
+    from repro.optional import missing_dependency
+
+    np = missing_dependency("numpy", "repro[numpy]")  # type: ignore[assignment]
 
 from repro.core.lsequence import Reading, ReadingSequence
 from repro.errors import MapModelError

@@ -6,8 +6,12 @@ whole suite is deterministic.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the no-numpy CI leg
+    np = None
 
 from repro import (
     ConstraintSet,
@@ -25,6 +29,8 @@ from repro.mapmodel.floorplans import multi_floor_building
 
 @pytest.fixture
 def rng():
+    if np is None:
+        pytest.skip("numpy not installed (repro[numpy] extra)")
     return np.random.default_rng(1234)
 
 
@@ -76,5 +82,6 @@ def uniform_lsequence():
 @pytest.fixture(scope="session")
 def tiny_dataset():
     """A small end-to-end dataset over a one-floor building."""
+    pytest.importorskip("numpy", exc_type=ImportError)
     building = multi_floor_building(1, name="tiny")
     return build_dataset(building, durations=(40, 80), per_duration=2, seed=5)

@@ -1,0 +1,7 @@
+"""L009 fixture: sequence repetition of a mutable literal."""
+
+
+def make_rows(duration):
+    rows = [[]] * duration
+    rows[0].append(1.0)
+    return rows

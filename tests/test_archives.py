@@ -2,8 +2,9 @@
 
 import json
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 from repro.core.algorithm import build_ct_graph
 from repro.core.lsequence import LSequence

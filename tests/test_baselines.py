@@ -2,8 +2,9 @@
 
 import math
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 from repro.baselines.beam import BeamCleaner
 from repro.baselines.particles import ParticleFilter

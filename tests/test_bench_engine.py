@@ -24,7 +24,8 @@ def test_smoke_emits_well_formed_json(tmp_path):
     out = tmp_path / "BENCH_engine.json"
     run = subprocess.run(
         [sys.executable, str(BENCH), "--durations", "40", "80",
-         "--repeats", "2", "--out", str(out)],
+         "--repeats", "2", "--kernel-duration", "40",
+         "--kernel-repeats", "1", "--out", str(out)],
         capture_output=True, text=True, env=_bench_env(), timeout=300)
     assert run.returncode == 0, run.stderr
 
@@ -34,20 +35,49 @@ def test_smoke_emits_well_formed_json(tmp_path):
     assert payload["identical_output"] is True
     assert payload["speedup"] > 0.0
     assert payload["warm_speedup"] > 0.0
+    assert payload["backend"] == "auto"
     assert len(payload["results"]) == 2
     for entry in payload["results"]:
         assert entry["identical_output"] is True
         assert entry["reference_seconds"] > 0.0
         assert entry["compact_seconds"] > 0.0
         assert entry["compact_warm_seconds"] > 0.0
+        assert entry["flat_seconds"] > 0.0
+        assert entry["backend"] in ("python", "numpy")
         assert entry["forward_seconds"] > 0.0
         assert entry["backward_seconds"] > 0.0
+    kernel = payload["kernel"]
+    assert kernel["duration"] == 40
+    assert kernel["python_sweep_seconds"] > 0.0
+    assert kernel["python_build_seconds"] > 0.0
+    if kernel["measured"]:
+        # The hard gate: the numpy flat build is bit-identical.
+        assert kernel["parity"] is True
+        assert kernel["kernel_speedup"] > 0.0
+        assert payload["kernel_speedup"] == kernel["kernel_speedup"]
+    else:
+        assert payload["kernel_speedup"] is None
 
     # The bench's own --check mode agrees.
     check = subprocess.run(
         [sys.executable, str(BENCH), "--check", str(out)],
         capture_output=True, text=True, env=_bench_env(), timeout=60)
     assert check.returncode == 0, check.stderr
+
+
+def test_numpy_backend_smoke(tmp_path):
+    # The CI kernel-parity step: a numpy-backed flat axis must still
+    # report identical_output (flat == node-form .to_flat()).
+    out = tmp_path / "BENCH_engine.json"
+    run = subprocess.run(
+        [sys.executable, str(BENCH), "--durations", "40", "--repeats", "1",
+         "--backend", "numpy", "--kernel-duration", "40",
+         "--kernel-repeats", "1", "--out", str(out)],
+        capture_output=True, text=True, env=_bench_env(), timeout=300)
+    assert run.returncode == 0, run.stderr
+    payload = json.loads(out.read_text())
+    assert payload["backend"] == "numpy"
+    assert payload["identical_output"] is True
 
 
 def test_smoke_flag_runs_ci_sized_workload(tmp_path):

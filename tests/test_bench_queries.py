@@ -24,7 +24,8 @@ def test_smoke_emits_well_formed_json(tmp_path):
     out = tmp_path / "BENCH_queries.json"
     run = subprocess.run(
         [sys.executable, str(BENCH), "--durations", "40", "80",
-         "--repeats", "2", "--out", str(out)],
+         "--repeats", "2", "--kernel-duration", "40",
+         "--kernel-repeats", "1", "--out", str(out)],
         capture_output=True, text=True, env=_bench_env(), timeout=300)
     assert run.returncode == 0, run.stderr
 
@@ -34,18 +35,43 @@ def test_smoke_emits_well_formed_json(tmp_path):
     assert len(payload["workload"]["statements"]) >= 8
     assert payload["parity"] is True
     assert payload["speedup"] > 0.0
+    assert payload["backend"] == "python"
     assert len(payload["results"]) == 2
     for entry in payload["results"]:
         assert entry["statements"] >= 8
         assert entry["node_seconds"] > 0.0
         assert entry["flat_seconds"] > 0.0
         assert entry["flat_size_bytes"] < entry["node_size_bytes"]
+    kernel = payload["kernel"]
+    assert kernel["duration"] == 40
+    assert kernel["python_seconds"] > 0.0
+    if kernel["measured"]:
+        assert kernel["parity"] is True
+        assert kernel["kernel_speedup"] > 0.0
+        assert payload["kernel_speedup"] == kernel["kernel_speedup"]
+    else:
+        assert payload["kernel_speedup"] is None
 
     # The bench's own --check mode agrees.
     check = subprocess.run(
         [sys.executable, str(BENCH), "--check", str(out)],
         capture_output=True, text=True, env=_bench_env(), timeout=60)
     assert check.returncode == 0, check.stderr
+
+
+def test_numpy_backend_smoke(tmp_path):
+    # The CI kernel-parity step: the numpy-backed flat pipeline must
+    # agree with the node path under the tolerance gate.
+    out = tmp_path / "BENCH_queries.json"
+    run = subprocess.run(
+        [sys.executable, str(BENCH), "--durations", "40", "--repeats", "1",
+         "--backend", "numpy", "--kernel-duration", "40",
+         "--kernel-repeats", "1", "--out", str(out)],
+        capture_output=True, text=True, env=_bench_env(), timeout=300)
+    assert run.returncode == 0, run.stderr
+    payload = json.loads(out.read_text())
+    assert payload["backend"] == "numpy"
+    assert payload["parity"] is True
 
 
 def test_smoke_flag_runs_ci_sized_workload(tmp_path):
@@ -72,8 +98,9 @@ def test_check_rejects_malformed_payload(tmp_path):
 def test_check_rejects_parity_failure(tmp_path):
     good = tmp_path / "ok.json"
     run = subprocess.run(
-        [sys.executable, str(BENCH), "--durations", "40",
-         "--repeats", "1", "--out", str(good)],
+        [sys.executable, str(BENCH), "--durations", "40", "--repeats", "1",
+         "--kernel-duration", "40", "--kernel-repeats", "1",
+         "--out", str(good)],
         capture_output=True, text=True, env=_bench_env(), timeout=300)
     assert run.returncode == 0, run.stderr
     payload = json.loads(good.read_text())

@@ -1,7 +1,8 @@
 """Tests for the detection-matrix calibration (Section 6.2 procedure)."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 from repro.errors import CalibrationError
 from repro.mapmodel.grid import Grid

@@ -20,6 +20,12 @@ class TestParser:
 
 
 class TestCommands:
+    @pytest.fixture(autouse=True)
+    def _needs_numpy(self):
+        # Every command here runs against a generated synthetic dataset,
+        # and dataset generation draws from a numpy rng.
+        pytest.importorskip("numpy", exc_type=ImportError)
+
     def test_info(self, capsys):
         assert main(["info", "--dataset", "syn1", "--scale", "tiny"]) == 0
         out = capsys.readouterr().out

@@ -1,7 +1,8 @@
 """Tests for dataset assembly (SYN1/SYN2 and custom builds)."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 from repro.errors import ReproError
 from repro.simulation.datasets import (

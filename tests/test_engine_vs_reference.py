@@ -10,9 +10,13 @@ map plans (``random_building`` + ``infer_constraints``) cover inferred
 constraint sets beyond the hand-written strategies.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the no-numpy CI leg
+    np = None  # only the random-map-plan test needs it; it skips
 
 from repro.core.algorithm import CleaningOptions, build_ct_graph
 from repro.core.constraints import (
@@ -132,6 +136,8 @@ def test_bit_exact_through_a_shared_plan(batch, constraints, strict):
         _assert_engines_agree(lsequence, constraints, strict, plan=plan)
 
 
+@pytest.mark.skipif(np is None, reason="numpy not installed "
+                    "(repro[numpy] extra); random plans draw from an rng")
 @settings(max_examples=25, deadline=None)
 @given(st.integers(min_value=0, max_value=10_000),
        st.integers(min_value=8, max_value=20))

@@ -1,7 +1,8 @@
 """Tests for the experiment harness (workloads, runners, report tables)."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 from repro.experiments.harness import (
     CONSTRAINT_CONFIGS,

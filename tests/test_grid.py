@@ -64,6 +64,7 @@ class TestCellLookup:
 
 class TestLocationIndexArray:
     def test_matches_cell_assignment(self, two_rooms):
+        pytest.importorskip("numpy", exc_type=ImportError)  # the index array is an ndarray
         grid = Grid(two_rooms, 1.0)
         ids = grid.location_index_array()
         names = two_rooms.location_names

@@ -88,6 +88,19 @@ class TestExtend:
         cleaner.extend({"B": 0.5, "D": 0.5})
         assert cleaner.duration == duration + 1
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf"), -0.5])
+    def test_malformed_probability_rejected(self, constraints, bad):
+        cleaner = IncrementalCleaner(constraints)
+        cleaner.extend({"A": 1.0})
+        with pytest.raises(ReadingSequenceError, match="finite and "
+                                                       "non-negative"):
+            cleaner.extend({"A": 0.5, "B": bad})
+        # The failed row leaves the stream untouched.
+        assert cleaner.duration == 1
+        cleaner.extend({"A": 0.5, "B": 0.5})
+        assert cleaner.duration == 2
+
     def test_extend_reading_needs_prior(self, constraints):
         cleaner = IncrementalCleaner(constraints)
         with pytest.raises(ReadingSequenceError):

@@ -8,8 +8,9 @@ These pin the facts the paper's evaluation depends on:
 * richer constraint sets yield larger graphs and longer cleaning times.
 """
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 from repro.core.algorithm import build_ct_graph
 from repro.core.lsequence import LSequence

@@ -1,4 +1,4 @@
-"""Tests for the repro.lint engine-invariant linter (rules L001-L008)."""
+"""Tests for the repro.lint engine-invariant linter (rules L001-L009)."""
 
 from __future__ import annotations
 
@@ -35,7 +35,7 @@ class TestRegistry:
 
     def test_codes_are_the_l_series(self):
         assert rule_codes() == ("L001", "L002", "L003", "L004",
-                                "L005", "L006", "L007", "L008")
+                                "L005", "L006", "L007", "L008", "L009")
 
     def test_every_rule_documents_itself(self):
         for rule in all_rules():
@@ -59,7 +59,8 @@ class TestFixtures:
     """Each known-bad snippet triggers exactly its own rule."""
 
     @pytest.mark.parametrize("code", ["L001", "L002", "L003", "L004",
-                                      "L005", "L006", "L007", "L008"])
+                                      "L005", "L006", "L007", "L008",
+                                      "L009"])
     def test_bad_fixture_triggers_exactly_its_rule(self, code):
         fixture = FIXTURES / f"bad_{code.lower()}.py"
         findings = lint_path(fixture)
@@ -152,6 +153,33 @@ class TestAssertAndCsr:
         findings = lint_source("child = graph.edge_children[i]\n",
                                "src/repro/queries/session.py")
         assert findings == []
+
+    def test_csr_subscript_allowed_in_kernels(self):
+        findings = lint_source("offs = graph.edge_offsets[tau]\n",
+                               "src/repro/core/kernels.py")
+        assert findings == []
+
+
+class TestMultipliedMutable:
+    def test_multiplied_list_literal_flagged(self):
+        assert codes_for("rows = [[]] * duration\n") == ["L009"]
+
+    def test_multiplied_dict_literal_flagged(self):
+        assert codes_for("rows = [{}] * n\n") == ["L009"]
+
+    def test_reversed_operand_order_flagged(self):
+        assert codes_for("rows = n * [[]]\n") == ["L009"]
+
+    def test_constructor_call_element_flagged(self):
+        assert codes_for("rows = [list()] * n\n") == ["L009"]
+
+    def test_immutable_elements_allowed(self):
+        assert codes_for("row = [0.0] * n\n") == []
+        assert codes_for("row = [None] * n\n") == []
+        assert codes_for("pair = ((), ()) * n\n") == []
+
+    def test_numeric_multiplication_allowed(self):
+        assert codes_for("area = width * height\n") == []
 
 
 class TestSuppression:

@@ -73,6 +73,21 @@ class TestLSequence:
         ls = LSequence([{"A": 1.0, "B": 0.0}])
         assert ls.support(0) == ("A",)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf"), -0.25])
+    def test_malformed_probability_rejected(self, bad):
+        with pytest.raises(ReadingSequenceError, match="finite and "
+                                                       "non-negative"):
+            LSequence([{"A": 1.0}, {"A": 0.5, "B": bad}])
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+    def test_malformed_probability_rejected_without_validate(self, bad):
+        # The prior-model path (_validate=False) skips the sum check but
+        # must still refuse NaN/inf/negative — NaN fails every `>` test,
+        # so the positivity floor alone would silently drop it.
+        with pytest.raises(ReadingSequenceError, match="timestep 0"):
+            LSequence([{"A": bad, "B": 1.0}], _validate=False)
+
     def test_small_drift_is_renormalised(self):
         ls = LSequence([{"A": 0.5000001, "B": 0.5}])
         assert math.fsum(ls.candidates(0).values()) == pytest.approx(1.0)

@@ -1,7 +1,8 @@
 """Tests (incl. map-level property tests) for the random building generator."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 from repro.errors import MapModelError
 from repro.mapmodel.random_plans import random_building

@@ -1,7 +1,8 @@
 """Tests for the reading generator (Section 6.4, second module)."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 from repro.mapmodel.grid import Grid
 from repro.rfid.calibration import exact_matrix

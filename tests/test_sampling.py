@@ -1,7 +1,8 @@
 """Tests for trajectory sampling (ancestral over ct-graphs and rejection)."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 from repro.core.algorithm import build_ct_graph
 from repro.core.constraints import ConstraintSet, Latency, Unreachable

@@ -2,8 +2,9 @@
 
 import xml.etree.ElementTree as ET
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 from repro.rfid.readers import place_default_readers
 from repro.simulation.trajectories import TrajectoryGenerator

@@ -1,7 +1,8 @@
 """Tests for the ground-truth trajectory generator (Section 6.4)."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 from repro.errors import MapModelError
 from repro.geometry import Rect

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck check bench bench-paper bench-parallel bench-faults bench-engine bench-queries bench-kernels report examples loc clean
+.PHONY: install test lint typecheck check bench bench-paper bench-parallel bench-faults bench-engine bench-queries bench-kernels bench-store report examples loc clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,7 +10,7 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Static gates.  repro.lint (rules L001-L009, see docs/lint.md) is
+# Static gates.  repro.lint (rules L001-L010, see docs/lint.md) is
 # stdlib-only and always runs; ruff/mypy run when installed
 # (pip install -e .[lint]) and are skipped with a notice otherwise, so
 # the targets work in minimal containers too.
@@ -73,6 +73,13 @@ bench-kernels:
 	$(PYTHON) benchmarks/bench_engine.py --check BENCH_engine.json
 	$(PYTHON) benchmarks/bench_queries.py --backend numpy --out BENCH_queries.json
 	$(PYTHON) benchmarks/bench_queries.py --check BENCH_queries.json
+
+# Binary graph store vs pickle (needs the numpy extra for the direct
+# ndarray write path): engine -> .ctg direct write vs pickle, cold mmap
+# load (>= 5x gate), warm mmap-served query parity, BENCH_store.json.
+bench-store:
+	$(PYTHON) benchmarks/bench_store.py --backend numpy --out BENCH_store.json
+	$(PYTHON) benchmarks/bench_store.py --check BENCH_store.json
 
 report:
 	$(PYTHON) -m repro.cli report --both --scale small --out evaluation_report.md

@@ -41,6 +41,7 @@ from repro.core.sampling import TrajectorySampler, rejection_sample
 from repro.core.validity import is_valid_trajectory, violations
 from repro.errors import (
     ConstraintError,
+    GraphExportError,
     GraphInvariantError,
     InconsistentReadingsError,
     MapModelError,
@@ -48,6 +49,9 @@ from repro.errors import (
     QueryError,
     ReadingSequenceError,
     ReproError,
+    StoreChecksumError,
+    StoreError,
+    StoreFormatError,
     ZeroMassError,
 )
 from repro.runtime import (
@@ -104,6 +108,14 @@ from repro.queries import (
     uncertainty_reduction,
     visit_probability,
 )
+from repro.store import (
+    GraphStore,
+    MappedCTGraph,
+    content_key,
+    load_ctg,
+    save_ctg,
+    write_ctg,
+)
 from repro.rfid import (
     DetectionMatrix,
     PriorModel,
@@ -131,7 +143,8 @@ __all__ = [
     # errors
     "ReproError", "MapModelError", "ConstraintError", "ReadingSequenceError",
     "InconsistentReadingsError", "ZeroMassError", "PatternSyntaxError",
-    "QueryError",
+    "QueryError", "StoreError", "StoreFormatError", "StoreChecksumError",
+    "GraphExportError",
     # static analysis
     "AnalysisReport", "Diagnostic", "Severity", "analyze",
     # geometry + map
@@ -157,6 +170,9 @@ __all__ = [
     "MarkovianStream",
     "SmoothingFilter", "ParticleFilter", "BeamCleaner",
     "diagnose", "InconsistencyReport",
+    # binary store
+    "GraphStore", "MappedCTGraph", "content_key",
+    "load_ctg", "save_ctg", "write_ctg",
     # queries
     "Pattern", "PatternAtom", "TrajectoryQuery", "QuerySession",
     "stay_query", "stay_query_prior",

@@ -36,6 +36,7 @@ from repro.analysis.envelope import (
     AbstractState,
     ConstraintEnvelope,
     DepartureInterval,
+    estimate_ctg_bytes,
     estimate_graph_bytes,
 )
 from repro.analysis.precheck import first_dead_timestep, predict_zero_mass
@@ -59,6 +60,7 @@ __all__ = [
     "advise",
     "analyze",
     "ctgraph_size_bounds",
+    "estimate_ctg_bytes",
     "estimate_graph_bytes",
     "first_dead_timestep",
     "location_universe",

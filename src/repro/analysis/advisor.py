@@ -21,7 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
-from repro.analysis.envelope import ConstraintEnvelope, estimate_graph_bytes
+from repro.analysis.envelope import (
+    ConstraintEnvelope,
+    estimate_ctg_bytes,
+    estimate_graph_bytes,
+)
 from repro.core import kernels
 from repro.core.algorithm import CleaningOptions
 from repro.core.constraints import ConstraintSet
@@ -71,6 +75,9 @@ class EngineAdvice:
     predicted_node_bytes: int
     #: Predicted bytes if materialised as a ``FlatCTGraph``.
     predicted_flat_bytes: int
+    #: Predicted on-disk bytes as a ``.ctg`` store entry
+    #: (``materialize="store"`` / ``GraphStore``).
+    predicted_ctg_bytes: int
     #: Duration of the advised l-sequence.
     duration: int
     #: Whether the envelope already proves ``ZeroMassError``.
@@ -96,6 +103,7 @@ def advise(lsequence: LSequence, constraints: ConstraintSet, *,
     peak = max(widths) if widths else 0
     edges = envelope.edge_bounds()
     node_bytes, flat_bytes = estimate_graph_bytes(widths, edges)
+    ctg_bytes = estimate_ctg_bytes(widths, edges)
     # Backend advice mirrors QuerySession's measured-width resolution,
     # but statically: the envelope's edge bounds predict the mean edges
     # per edge level before anything is built.
@@ -126,6 +134,7 @@ def advise(lsequence: LSequence, constraints: ConstraintSet, *,
         peak_level_width=peak,
         predicted_node_bytes=node_bytes,
         predicted_flat_bytes=flat_bytes,
+        predicted_ctg_bytes=ctg_bytes,
         duration=lsequence.duration,
         zero_mass=envelope.proves_zero_mass,
         reason=reason,

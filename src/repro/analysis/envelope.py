@@ -51,11 +51,15 @@ from repro.core.nodes import DepartureFilter, initial_stay
 __all__ = [
     "AbstractState",
     "ConstraintEnvelope",
+    "CTG_BYTES_PER_EDGE",
+    "CTG_BYTES_PER_NODE",
+    "CTG_FIXED_BYTES",
     "DepartureInterval",
     "FLAT_BYTES_PER_EDGE",
     "FLAT_BYTES_PER_NODE",
     "NODE_BYTES_PER_EDGE",
     "NODE_BYTES_PER_NODE",
+    "estimate_ctg_bytes",
     "estimate_graph_bytes",
 ]
 
@@ -74,6 +78,17 @@ FLAT_BYTES_PER_NODE = 18
 FLAT_BYTES_PER_EDGE = 48
 
 
+#: Exact bytes per node in the on-disk ``rfid-ctg/ctg@1`` format:
+#: location id (i32) + stay (i32) + one CSR offset slot (i32), plus an
+#: amortised share of the level-0 source row and section padding.
+CTG_BYTES_PER_NODE = 16
+#: Exact bytes per on-disk edge: child index (i32) + probability (f64).
+CTG_BYTES_PER_EDGE = 12
+#: Fixed ``.ctg`` overhead: 64-byte header plus a generous allowance for
+#: the interned-name table, the optional stats blob and 8-byte alignment.
+CTG_FIXED_BYTES = 512
+
+
 def estimate_graph_bytes(node_counts: Sequence[int],
                          edge_counts: Sequence[int]) -> Tuple[int, int]:
     """``(node_form_bytes, flat_form_bytes)`` for a graph of that shape."""
@@ -82,6 +97,25 @@ def estimate_graph_bytes(node_counts: Sequence[int],
     node_form = NODE_BYTES_PER_NODE * nodes + NODE_BYTES_PER_EDGE * edges
     flat_form = FLAT_BYTES_PER_NODE * nodes + FLAT_BYTES_PER_EDGE * edges
     return node_form, flat_form
+
+
+def estimate_ctg_bytes(node_counts: Sequence[int],
+                       edge_counts: Sequence[int]) -> int:
+    """Estimated on-disk size of the graph as a ``.ctg`` file.
+
+    Unlike the in-memory estimates this one is close to exact — the
+    format stores fixed-width little-endian columns, so the only slack is
+    the per-section alignment and the interned-name table (folded into
+    :data:`CTG_FIXED_BYTES` and the section-table term).
+    """
+    nodes = sum(node_counts)
+    edges = sum(edge_counts)
+    duration = len(node_counts)
+    # Section table: ("loc","stay") per level, ("off","child","prob") per
+    # edge level, one source row — 16 bytes of (offset, count) each.
+    sections = 2 * duration + 3 * max(0, duration - 1) + 1
+    return (CTG_FIXED_BYTES + 16 * sections
+            + CTG_BYTES_PER_NODE * nodes + CTG_BYTES_PER_EDGE * edges)
 
 
 @dataclass(frozen=True)

@@ -31,7 +31,11 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.diagnostics import Diagnostic, Severity
-from repro.analysis.envelope import ConstraintEnvelope, estimate_graph_bytes
+from repro.analysis.envelope import (
+    ConstraintEnvelope,
+    estimate_ctg_bytes,
+    estimate_graph_bytes,
+)
 from repro.analysis.precheck import first_dead_timestep
 from repro.analysis.reachability import ReachabilityIndex
 from repro.core.constraints import ConstraintSet, Latency, TravelingTime
@@ -292,16 +296,20 @@ def check_blowup_estimate(ctx: AnalysisContext) -> Iterator[Diagnostic]:
     edge_bounds = [bounds[tau] * len(ctx.lsequence.support(tau + 1))
                    for tau in range(len(bounds) - 1)]
     node_bytes, flat_bytes = estimate_graph_bytes(bounds, edge_bounds)
+    ctg_bytes = estimate_ctg_bytes(bounds, edge_bounds)
     yield Diagnostic(
         "C006", Severity.INFO,
         f"ct-graph size upper bound: <= {sum(bounds)} node states over "
         f"{len(bounds)} timesteps (worst timestep {worst_at}: <= {worst}); "
         f"~{node_bytes / 1024.0:.0f} KiB as CTNode objects, "
-        f"~{flat_bytes / 1024.0:.0f} KiB flat (materialize='flat')",
+        f"~{flat_bytes / 1024.0:.0f} KiB flat (materialize='flat'), "
+        f"~{ctg_bytes / 1024.0:.0f} KiB on disk as .ctg "
+        f"(materialize='store')",
         data={"total": sum(bounds), "worst": worst,
               "worst_timestep": worst_at, "per_timestep": bounds,
               "per_timestep_edges": edge_bounds,
-              "node_bytes": node_bytes, "flat_bytes": flat_bytes})
+              "node_bytes": node_bytes, "flat_bytes": flat_bytes,
+              "ctg_bytes": ctg_bytes})
 
 
 # ----------------------------------------------------------------------
@@ -420,11 +428,13 @@ def check_routing_advice(ctx: AnalysisContext) -> Iterator[Diagnostic]:
         f"routing advice: engine={advice.engine}, "
         f"materialize={advice.materialize} — {advice.reason} "
         f"(~{advice.predicted_node_bytes / 1024.0:.0f} KiB as nodes, "
-        f"~{advice.predicted_flat_bytes / 1024.0:.0f} KiB flat)",
+        f"~{advice.predicted_flat_bytes / 1024.0:.0f} KiB flat, "
+        f"~{advice.predicted_ctg_bytes / 1024.0:.0f} KiB as .ctg)",
         data={"engine": advice.engine, "materialize": advice.materialize,
               "predicted_states": advice.predicted_states,
               "peak_level_width": advice.peak_level_width,
               "predicted_node_bytes": advice.predicted_node_bytes,
               "predicted_flat_bytes": advice.predicted_flat_bytes,
+              "predicted_ctg_bytes": advice.predicted_ctg_bytes,
               "zero_mass": advice.zero_mass,
               "reason": advice.reason})

@@ -85,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
     clean.add_argument("--stats", action="store_true",
                        help="also print the construction counters and "
                             "per-phase timings")
+    clean.add_argument("--output", default=None, metavar="PATH",
+                       help="write the cleaned graph as a binary .ctg "
+                            "file (the engine streams its columns "
+                            "straight to disk and the reported graph is "
+                            "an mmap-backed view of the file)")
 
     clean_many_cmd = sub.add_parser(
         "clean-many", help="clean a batch of trajectories, optionally in "
@@ -121,6 +126,28 @@ def build_parser() -> argparse.ArgumentParser:
     clean_many_cmd.add_argument("--json", dest="json_out", default=None,
                                 help="also write a machine-readable summary "
                                      "to this path")
+
+    store_cmd = sub.add_parser(
+        "store", help="batch-clean a dataset into a content-addressed "
+                      ".ctg graph store (repeat runs are cache hits)")
+    add_common(store_cmd)
+    store_cmd.add_argument("--root", required=True, metavar="DIR",
+                           help="store directory (created if missing)")
+    store_cmd.add_argument("--constraints", default="DU,LT,TT",
+                           help="comma-separated subset of DU,LT,TT")
+    store_cmd.add_argument("--workers", type=int, default=1,
+                           help="worker processes (1 = in-process); "
+                                "workers write .ctg entries and only "
+                                "paths cross the pipe")
+    store_cmd.add_argument("--limit", type=int, default=None,
+                           help="clean only the first N trajectories")
+    store_cmd.add_argument("--engine", choices=ENGINES, default="auto",
+                           help="cleaning engine used on cache misses")
+    store_cmd.add_argument("--backend", choices=BACKENDS, default="python",
+                           help="level-sweep backend used on cache misses")
+    store_cmd.add_argument("--list", dest="list_only", action="store_true",
+                           help="list the store's entries and exit "
+                                "(no cleaning)")
 
     query = sub.add_parser("query", help="run a stay or trajectory query")
     add_common(query)
@@ -271,7 +298,8 @@ def _cleaned_graph(dataset, args):
     options = CleaningOptions(
         engine=getattr(args, "engine", "auto"),
         backend=getattr(args, "backend", "python"),
-        materialize="flat" if getattr(args, "flat", False) else "auto")
+        materialize="flat" if getattr(args, "flat", False) else "auto",
+        output=getattr(args, "output", None))
     return trajectory, lsequence, build_ct_graph(lsequence, constraints,
                                                  options)
 
@@ -299,6 +327,10 @@ def _command_clean(args: argparse.Namespace) -> int:
     print(f"ct-graph:  {graph}")
     print(f"valid trajectories represented: {graph.num_valid_trajectories()}")
     print(f"estimated size: {graph.estimate_size_bytes() / 1024:.0f} kB")
+    if args.output:
+        import os as _os
+        print(f"wrote {args.output} "
+              f"({_os.path.getsize(args.output)} bytes, mmap-served)")
     truth = tuple(trajectory.truth.locations)
     print(f"conditioned P(ground truth) = "
           f"{graph.trajectory_probability(truth):.3e}")
@@ -382,6 +414,49 @@ def _command_clean_many(args: argparse.Namespace) -> int:
         with open(args.json_out, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json_out}")
+    return 0 if not result.failures else 1
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    from repro.runtime import clean_many
+    from repro.store import GraphStore
+
+    store = GraphStore(args.root)
+    if args.list_only:
+        for key in store.keys():
+            path = store.path_for(key)
+            with store.load(key) as view:
+                print(f"{key[:16]}…  {path.stat().st_size:>10} B  {view}")
+        print(store)
+        return 0
+    dataset = _load_dataset(args)
+    trajectories = dataset.all_trajectories()
+    if args.limit is not None:
+        trajectories = trajectories[:max(0, args.limit)]
+    if not trajectories:
+        print("nothing to clean", file=sys.stderr)
+        return 2
+    kinds = _parse_kinds(args.constraints)
+    constraints = infer_constraints(dataset.building, MotilityProfile(),
+                                    kinds=kinds, distances=dataset.distances)
+    result = clean_many([t.readings for t in trajectories], constraints,
+                        options=CleaningOptions(engine=args.engine,
+                                                backend=args.backend),
+                        workers=args.workers, prior=dataset.prior,
+                        store=store)
+    hits = sum(1 for o in result if o.cache_hit)
+    for outcome in result:
+        if outcome.ok:
+            status = "hit " if outcome.cache_hit else "miss"
+            print(f"{outcome.index:>4}  {status}  {outcome.ctg_path}")
+            outcome.graph.close()
+        else:
+            print(f"{outcome.index:>4}  FAILED ({outcome.error_type}): "
+                  f"{outcome.error}")
+    print(f"\nobjects: {len(result)}  cleaned: {result.cleaned}  "
+          f"failed: {len(result.failures)}")
+    print(f"cache: {hits} hit(s), {len(result) - hits} miss(es)")
+    print(store)
     return 0 if not result.failures else 1
 
 
@@ -623,6 +698,7 @@ _COMMANDS = {
     "info": _command_info,
     "clean": _command_clean,
     "clean-many": _command_clean_many,
+    "store": _command_store,
     "query": _command_query,
     "experiment": _command_experiment,
     "analytics": _command_analytics,

@@ -50,7 +50,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.core.constraints import ConstraintSet
 from repro.core.ctgraph import CTGraph, CTNode
@@ -77,9 +77,12 @@ PRECHECK_MODES = ("off", "warn", "error")
 ENGINES = ("auto", "reference", "compact")
 
 #: What :func:`build_ct_graph` materialises: ``CTNode`` objects
-#: (``"nodes"``; ``"auto"`` currently resolves to the same) or the
-#: columnar :class:`~repro.core.flatgraph.FlatCTGraph` (``"flat"``).
-MATERIALIZE_MODES = ("auto", "nodes", "flat")
+#: (``"nodes"``; ``"auto"`` currently resolves to the same), the
+#: columnar :class:`~repro.core.flatgraph.FlatCTGraph` (``"flat"``), or
+#: a ``.ctg`` file written straight from the flat arrays (``"store"``,
+#: which requires ``output=`` and returns a zero-copy
+#: :class:`~repro.store.format.MappedCTGraph` view of the file).
+MATERIALIZE_MODES = ("auto", "nodes", "flat", "store")
 
 #: The sweep backends (see :mod:`repro.core.kernels`): pure-python loops
 #: (default, the parity oracle), optional numpy level kernels, or
@@ -174,12 +177,24 @@ class CleaningOptions:
     :class:`~repro.core.flatgraph.FlatCTGraph` instead — the compact
     engine then never materialises ``CTNode`` objects at all, which is
     both faster and smaller when the caller only runs queries (through
-    :class:`repro.queries.session.QuerySession`).  ``"auto"`` (default)
-    behaves like ``"nodes"``; the batch runtime resolves it to
-    ``"flat"`` when a :class:`~repro.runtime.plan.QueryPlan` discards
-    graphs.  Both shapes carry the same information for queries and are
-    bit-identical with each other (``CTGraph.to_flat``); see
-    ``docs/perf.md``.
+    :class:`repro.queries.session.QuerySession`).  ``"store"`` goes one
+    step further: the flat columns are written straight into the
+    ``output=`` path as a ``rfid-ctg/ctg@1`` binary file (on the numpy
+    route the engine's ndarrays go to disk without ever becoming Python
+    tuples) and the call returns a zero-copy
+    :class:`~repro.store.format.MappedCTGraph` view of that file.
+    ``"auto"`` (default) behaves like ``"nodes"``; it resolves to
+    ``"store"`` when ``output=`` is given, and the batch runtime
+    resolves it to ``"flat"`` when a
+    :class:`~repro.runtime.plan.QueryPlan` discards graphs.  All shapes
+    carry the same information for queries and are bit-identical with
+    each other (``CTGraph.to_flat``, ``MappedCTGraph.materialize``); see
+    ``docs/perf.md`` and ``docs/store.md``.
+
+    ``output`` — the ``.ctg`` path ``materialize="store"`` writes;
+    setting it with ``materialize="auto"`` selects ``"store"``
+    implicitly, and any other explicit materialisation alongside
+    ``output`` is a configuration error.
 
     ``backend`` — how the compact engine's backward survival sweep and
     flat materialisation run: ``"python"`` (default) uses the pure-python
@@ -201,6 +216,7 @@ class CleaningOptions:
     engine: str = "auto"
     materialize: str = "auto"
     backend: str = "python"
+    output: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.truncated_stay_policy not in TRUNCATED_STAY_POLICIES:
@@ -224,6 +240,17 @@ class CleaningOptions:
             raise ReadingSequenceError(
                 f"unknown backend {self.backend!r}; "
                 f"expected one of {BACKENDS}")
+        if self.output is not None and self.materialize == "auto":
+            object.__setattr__(self, "materialize", "store")
+        if self.materialize == "store" and self.output is None:
+            raise ReadingSequenceError(
+                "materialize='store' writes a .ctg file and needs "
+                "output=... (the path to write)")
+        if self.output is not None and self.materialize != "store":
+            raise ReadingSequenceError(
+                f"output= writes a .ctg file, which requires "
+                f"materialize='store' (or 'auto'), "
+                f"not {self.materialize!r}")
 
     @property
     def strict_truncation(self) -> bool:
@@ -232,6 +259,18 @@ class CleaningOptions:
     @property
     def flat_materialize(self) -> bool:
         return self.materialize == "flat"
+
+    @property
+    def columnar_materialize(self) -> bool:
+        """Flat-array materialisation — in memory (``"flat"``) or written
+        straight to a ``.ctg`` file (``"store"``).  This is the knob the
+        engines route on: both modes share the columnar build and skip
+        ``CTNode`` construction entirely."""
+        return self.materialize in ("flat", "store")
+
+    @property
+    def store_materialize(self) -> bool:
+        return self.materialize == "store"
 
 
 @dataclass
@@ -277,6 +316,9 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
     With ``CleaningOptions(materialize="flat")`` the result is the
     columnar :class:`~repro.core.flatgraph.FlatCTGraph` instead of the
     ``CTNode`` web — bit-identical to ``.to_flat()`` of the node graph.
+    With ``materialize="store"`` (or ``output=...``) the columns are
+    written to a ``.ctg`` file instead and the returned graph is a
+    zero-copy :class:`~repro.store.format.MappedCTGraph` view of it.
 
     ``plan`` is an optional
     :class:`repro.runtime.SharedCleaningPlan` (or any object with the same
@@ -453,10 +495,16 @@ def build_ct_graph(lsequence: LSequence, constraints: ConstraintSet,
     stats.backward_seconds = time.perf_counter() - backward_started
     graph = CTGraph([tuple(level.values()) for level in levels],
                     source_probabilities, stats=stats)
-    if options.flat_materialize:
+    if options.columnar_materialize:
         # The reference builder always materialises nodes; the flat form
         # is a conversion here (the compact engine emits it natively).
-        return graph.to_flat()
+        flat = graph.to_flat()
+        if options.store_materialize:
+            from repro.store.format import load_ctg, save_ctg
+
+            save_ctg(flat, options.output)
+            return load_ctg(options.output, mmap=True)
+        return flat
     return graph
 
 

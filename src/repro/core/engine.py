@@ -471,7 +471,7 @@ def build_ct_graph_compact(lsequence: LSequence, constraints: ConstraintSet,
     # resolves on the measured mean edges per level, not a prediction.
     # Only the flat path vectorises: the node path interleaves CTNode
     # construction with the sweep and always runs in python.
-    route_numpy = options.flat_materialize and kernels.resolve_backend(
+    route_numpy = options.columnar_materialize and kernels.resolve_backend(
         options.backend,
         stats.edges_created / last if last else 0.0) == "numpy"
     if not route_numpy:
@@ -495,7 +495,8 @@ def build_ct_graph_compact(lsequence: LSequence, constraints: ConstraintSet,
     if route_numpy:
         return _build_flat_numpy(duration, level_sids, states, names,
                                  level_refs, prior_probabilities,
-                                 stats, backward_started)
+                                 stats, backward_started,
+                                 output=options.output)
     survivals: List[List[float]] = [[] for _ in range(duration)]
     survivals[last] = [1.0] * len(level_sids[last])
     level_masses: List[List[float]] = [[] for _ in range(max(0, last))]
@@ -578,7 +579,7 @@ def build_ct_graph_compact(lsequence: LSequence, constraints: ConstraintSet,
     stats.edges_removed = edges_removed
     stats.sweep_seconds = time.perf_counter() - backward_started
 
-    if options.flat_materialize:
+    if options.columnar_materialize:
         # ------------------------------------------------------------------
         # flat materialisation: the backward sweep's arrays become the
         # FlatCTGraph directly — no CTNode is ever created.  Interning,
@@ -649,7 +650,7 @@ def build_ct_graph_compact(lsequence: LSequence, constraints: ConstraintSet,
             raise ZeroMassError(
                 "the valid trajectories have zero total prior probability")
         stats.backward_seconds = time.perf_counter() - backward_started
-        return FlatCTGraph(
+        flat = FlatCTGraph(
             location_names=tuple(flat_names),
             locations=tuple(flat_locations),
             stays=tuple(flat_stays),
@@ -658,6 +659,15 @@ def build_ct_graph_compact(lsequence: LSequence, constraints: ConstraintSet,
             edge_probabilities=tuple(flat_probabilities),
             source_probabilities=tuple(p / total for p in source_row),
             stats=stats)
+        if options.store_materialize:
+            # The python backend still builds the tuples (they *are* its
+            # sweep output); the store write + reload gives callers the
+            # same mmap-view contract as the numpy direct-write route.
+            from repro.store.format import load_ctg, save_ctg
+
+            save_ctg(flat, options.output)
+            return load_ctg(options.output, mmap=True)
+        return flat
 
     # ------------------------------------------------------------------
     # materialisation: surviving nodes and edges, reference order
@@ -731,8 +741,15 @@ def build_ct_graph_compact(lsequence: LSequence, constraints: ConstraintSet,
 
 def _build_flat_numpy(duration: int, level_sids, states, names,
                       level_refs, prior_probabilities, stats,
-                      backward_started: float) -> FlatCTGraph:
+                      backward_started: float,
+                      output: Optional[str] = None):
     """The backward sweep + flat materialisation as whole-level kernels.
+
+    With ``output`` set (``materialize="store"``), the kept edge columns
+    are written to that ``.ctg`` path as ndarrays — no ``tolist()``, no
+    tuples — and the return value is the
+    :class:`~repro.store.format.MappedCTGraph` view of the file instead
+    of an in-memory :class:`FlatCTGraph`.
 
     The numpy half of ``backend="numpy"``: each level's survival sweep
     is a gather + ``np.bincount`` segment sum and the surviving edges are
@@ -855,9 +872,9 @@ def _build_flat_numpy(duration: int, level_sids, states, names,
         flat_stays.append(tuple(stay_row))
         index_maps.append(index_map)
 
-    flat_offsets: List[Tuple[int, ...]] = []
-    flat_children: List[Tuple[int, ...]] = []
-    flat_probabilities: List[Tuple[float, ...]] = []
+    kept_offset_arrays: List[object] = []
+    kept_child_arrays: List[object] = []
+    kept_probability_arrays: List[object] = []
     for tau in range(last):
         children, weights, parents, mass, alive = level_arrays[tau]
         child_survival = survivals[tau + 1]
@@ -873,9 +890,9 @@ def _build_flat_numpy(duration: int, level_sids, states, names,
         counts = np.bincount(kept_parents, minlength=len(mass))[alive]
         offsets = np.zeros(len(counts) + 1, dtype=np.int64)
         np.cumsum(counts, out=offsets[1:])
-        flat_offsets.append(tuple(offsets.tolist()))
-        flat_children.append(tuple(kept_children.tolist()))
-        flat_probabilities.append(tuple(kept_probabilities.tolist()))
+        kept_offset_arrays.append(offsets)
+        kept_child_arrays.append(kept_children)
+        kept_probability_arrays.append(kept_probabilities)
 
     # Source conditioning in python floats, verbatim from the python
     # path — ``.tolist()`` round-trips float64 exactly.
@@ -889,12 +906,35 @@ def _build_flat_numpy(duration: int, level_sids, states, names,
         raise ZeroMassError(
             "the valid trajectories have zero total prior probability")
     stats.backward_seconds = time.perf_counter() - backward_started
+    if output is not None:
+        # The store route: the per-level ndarrays stream straight into
+        # the .ctg section layout (the writer narrows them to the
+        # little-endian int32/float64 on-disk dtypes) — no edge column is
+        # ever boxed into Python tuples, which is the whole build-side
+        # win of ``materialize="store"``.  The returned view mmaps the
+        # freshly written file, so downstream QuerySessions read the
+        # same bytes a later cold load would.
+        from repro.store.format import load_ctg, write_ctg
+
+        write_ctg(output,
+                  location_names=flat_names,
+                  locations=flat_locations,
+                  stays=flat_stays,
+                  edge_offsets=kept_offset_arrays,
+                  edge_children=kept_child_arrays,
+                  edge_probabilities=kept_probability_arrays,
+                  source_probabilities=[p / total for p in source_row],
+                  stats=stats)
+        return load_ctg(output, mmap=True)
     return FlatCTGraph(
         location_names=tuple(flat_names),
         locations=tuple(flat_locations),
         stays=tuple(flat_stays),
-        edge_offsets=tuple(flat_offsets),
-        edge_children=tuple(flat_children),
-        edge_probabilities=tuple(flat_probabilities),
+        edge_offsets=tuple(tuple(offsets.tolist())
+                           for offsets in kept_offset_arrays),
+        edge_children=tuple(tuple(children.tolist())
+                            for children in kept_child_arrays),
+        edge_probabilities=tuple(tuple(probabilities.tolist())
+                                 for probabilities in kept_probability_arrays),
         source_probabilities=tuple(p / total for p in source_row),
         stats=stats)

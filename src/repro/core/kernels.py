@@ -8,7 +8,11 @@ reduction (sum or max) back onto the level's nodes.  Those are exactly the
 shapes ndarray kernels excel at, so this module re-expresses the sweeps as
 whole-level array ops:
 
-* gathers are fancy indexing over cached ``int32`` children/parent views;
+* gathers are fancy indexing over cached ``int32`` children/parent views
+  (for an mmap-served :class:`~repro.store.format.MappedCTGraph` the
+  columns are already little-endian ``int32``/``float64`` slices of the
+  ``.ctg`` file, so the ``asarray`` conversions are no-ops — only the
+  derived ``parents`` expansion is allocated);
 * per-node segment *sums* are ``np.bincount(parents, weights=...)`` —
   unlike ``np.add.reduceat`` it is well-defined on empty segments (a node
   with no surviving edges just gets ``0.0``);

@@ -22,6 +22,10 @@ __all__ = [
     "BatchConfigurationError",
     "WorkerCrashError",
     "CleaningTimeoutError",
+    "StoreError",
+    "StoreFormatError",
+    "StoreChecksumError",
+    "GraphExportError",
 ]
 
 
@@ -127,4 +131,39 @@ class CleaningTimeoutError(ReproError):
     ``timeout_seconds`` deadline (typically a pathological ct-graph blowup
     past the C006 bound); the stuck worker is reclaimed and its surviving
     batch-mates are re-driven unharmed.
+    """
+
+
+class StoreError(ReproError):
+    """A ``.ctg`` graph-store operation failed (see :mod:`repro.store`)."""
+
+
+class StoreFormatError(StoreError, ValueError):
+    """A ``.ctg`` file is not a well-formed ``rfid-ctg/ctg@1`` payload.
+
+    Covers a wrong magic, an unsupported version, a truncated file, and
+    any section whose offsets or counts fall outside the payload — every
+    structural defect :func:`repro.store.load_ctg` detects before it hands
+    out array views.  Also derives from :class:`ValueError` for callers
+    that treat malformed inputs generically.
+    """
+
+
+class StoreChecksumError(StoreError):
+    """A ``.ctg`` payload does not match its recorded CRC-32 checksum.
+
+    Raised only when a load explicitly opts into payload verification
+    (``load_ctg(path, verify=True)``) — structurally valid but bit-rotted
+    files are otherwise indistinguishable from good ones.
+    """
+
+
+class GraphExportError(ReproError, TypeError):
+    """An object that is not a ct-graph was handed to a graph exporter.
+
+    The :mod:`repro.io.graphs` functions are typed per graph form
+    (``ctgraph_to_dict`` wants the node form, ``flatgraph_to_dict`` the
+    columnar form); passing the wrong one raises this instead of an
+    incidental ``AttributeError`` deep inside the traversal.  Also derives
+    from :class:`TypeError` for callers that treat bad inputs generically.
     """

@@ -1,11 +1,12 @@
-"""The built-in engine-invariant rules, L001-L009.
+"""The built-in engine-invariant rules, L001-L010.
 
 L001-L003 are the three historical ``tools/check_invariants.py`` rules
-(INV001-INV003), promoted unchanged.  L004-L009 machine-check invariants
+(INV001-INV003), promoted unchanged.  L004-L010 machine-check invariants
 specific to the cleaning engines that ruff/mypy cannot express: interning
 immutability, worker-boundary picklability, bit-exact determinism,
-``python -O`` survival, CSR index discipline, and aliased mutable
-initializers.  ``docs/lint.md`` is the narrative catalog.
+``python -O`` survival, CSR index discipline, aliased mutable
+initializers, and ``.ctg`` codec locality.  ``docs/lint.md`` is the
+narrative catalog.
 """
 
 from __future__ import annotations
@@ -19,10 +20,12 @@ from repro.lint.registry import LintRule, register
 __all__ = [
     "CSR_COLUMN_ATTRS",
     "CSR_ACCESSOR_PATHS",
+    "CTG_CODEC_PATHS",
     "EXACT_FLOAT_SENTINELS",
     "INTERNED_CACHE_ATTRS",
     "MUTATING_METHODS",
     "POOL_SUBMIT_METHODS",
+    "STRUCT_CODEC_CALLS",
 ]
 
 #: Float literals that may be compared exactly: distribution emptiness and
@@ -56,11 +59,14 @@ CSR_COLUMN_ATTRS = frozenset({
 })
 
 #: Modules allowed to do raw CSR index arithmetic: the flat graph itself,
-#: the ndarray view layer that converts its columns, and the columnar
-#: query layer built around its accessors.  Entries ending in ``.py``
-#: match one module exactly; entries ending in ``/`` match a package.
+#: the ndarray view layer that converts its columns, the columnar query
+#: layer built around its accessors, the binary store that serialises the
+#: columns verbatim, and the whole-column JSON exporter.  Entries ending
+#: in ``.py`` match one module exactly; entries ending in ``/`` match a
+#: package.
 CSR_ACCESSOR_PATHS = ("repro/core/flatgraph.py", "repro/core/kernels.py",
-                      "repro/queries/")
+                      "repro/queries/", "repro/store/",
+                      "repro/io/graphs.py")
 
 
 def _is_fractional_float(node: ast.expr) -> bool:
@@ -386,3 +392,57 @@ class MultipliedMutableRule(LintRule):
                         "one object into every slot; use a comprehension "
                         "([[] for _ in range(n)])")
                     break
+
+
+#: ``struct``-module call names that do raw byte packing/unpacking.
+STRUCT_CODEC_CALLS = frozenset({
+    "pack", "unpack", "pack_into", "unpack_from", "iter_unpack",
+    "calcsize", "Struct",
+})
+
+#: Modules allowed to speak the raw ``.ctg`` byte layout: the store
+#: package owns the header/section codec.  Same matching convention as
+#: :data:`CSR_ACCESSOR_PATHS` (``.py`` = exact module, ``/`` = package).
+CTG_CODEC_PATHS = ("repro/store/",)
+
+
+def _is_struct_codec_call(node: ast.expr) -> bool:
+    """``struct.pack(...)``-style call, or a call on a ``struct.Struct``
+    constructed inline (``struct.Struct("<Q").unpack(...)``)."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    return (isinstance(func, ast.Attribute)
+            and func.attr in STRUCT_CODEC_CALLS
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "struct")
+
+
+@register
+class CtgCodecRule(LintRule):
+    code = "L010"
+    title = "no raw .ctg byte codec outside repro/store/"
+    rationale = (
+        "The `rfid-ctg/ctg@1` layout (header struct, section offsets, "
+        "alignment) lives in repro/store/format.py and nowhere else; "
+        "`struct.pack`/`unpack` + hand-rolled offset arithmetic in other "
+        "modules forks the format and rots silently when the version "
+        "bumps.  Read graphs through repro.store.load_ctg / GraphStore, "
+        "write them through write_ctg/save_ctg.")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        normalized = path.replace("\\", "/")
+        for part in CTG_CODEC_PATHS:
+            if part.endswith(".py"):
+                if normalized.endswith(part):
+                    return
+            elif part in normalized:
+                return
+        for node in ast.walk(tree):
+            if _is_struct_codec_call(node):
+                yield self.finding(
+                    path, node.lineno,
+                    f"raw struct.{node.func.attr} call outside "
+                    f"repro/store/; go through the repro.store codec "
+                    f"(load_ctg/write_ctg) instead of reimplementing "
+                    f"the .ctg byte layout")

@@ -3,7 +3,10 @@
 Every function in :mod:`repro.queries.analytics` walks the ``CTNode`` web
 independently, and most begin with the same forward pass.  A
 :class:`QuerySession` wraps a :class:`~repro.core.flatgraph.FlatCTGraph`
-and computes the shared sweeps **once** as flat arrays:
+— or any flat-shaped view, such as the mmap-served
+:class:`~repro.store.format.MappedCTGraph` a ``.ctg`` file loads to,
+whose columns feed the same DPs zero-copy — and computes the shared
+sweeps **once** as flat arrays:
 
 * the forward (alpha) pass — per-level node-marginal arrays feeding
   :meth:`~QuerySession.location_marginal`,

@@ -37,11 +37,14 @@ class TrajectoryQuery:
     def probability(self, graph: Union[CTGraph, FlatCTGraph]) -> float:
         """P(the cleaned trajectory matches the pattern).
 
-        Accepts the node form or the flat form; the two DPs visit
-        ``(node, DFA state)`` pairs in the same order and produce
-        bit-identical probabilities.
+        Accepts the node form or the flat form (including duck-typed
+        column views like :class:`~repro.store.format.MappedCTGraph` —
+        anything exposing the CSR ``edge_offsets`` columns runs the flat
+        DP; node-like graphs such as ``JointGraph`` run the object DP);
+        the two DPs visit ``(node, DFA state)`` pairs in the same order
+        and produce bit-identical probabilities.
         """
-        if isinstance(graph, FlatCTGraph):
+        if hasattr(graph, "edge_offsets"):
             return self._probability_flat(graph)
         dfa = self._dfa
         # forward[(node, dfa_state)] = accumulated probability mass.

@@ -106,6 +106,11 @@ class PriorModel:
             if index is None:
                 raise CalibrationError(f"unknown reader in reading: {name!r}")
             indices.append(index)
+        # Frozenset iteration order is hash-randomised per process; the
+        # row product below is only ULP-associative, so sort the indices
+        # to keep distributions bit-identical across interpreter runs
+        # (GraphStore content keys hash these doubles verbatim).
+        indices.sort()
 
         values = self.matrix.values
         if self.ghost_read_rate > 0.0:

@@ -79,6 +79,8 @@ from repro.errors import (
 from repro.queries.ql import QueryResult, execute as _execute_statement
 from repro.queries.session import QuerySession
 from repro.runtime.plan import QueryPlan, SharedCleaningPlan
+from repro.store.format import load_ctg
+from repro.store.graphstore import GraphStore
 
 __all__ = ["BatchOutcome", "BatchResult", "BatchCleaner", "clean_many"]
 
@@ -114,6 +116,12 @@ class BatchOutcome:
     #: Per-statement results of the batch's ``QueryPlan`` (``None`` when
     #: the batch ran without one, or for failed outcomes).
     queries: Optional[Tuple[QueryResult, ...]] = None
+    #: Where this object's ``.ctg`` entry lives when the batch ran with a
+    #: :class:`~repro.store.GraphStore` (``None`` otherwise).  Workers
+    #: ship only this path back; the parent re-opens it as an mmap view.
+    ctg_path: Optional[str] = None
+    #: Whether the store already held the entry (no cleaning ran).
+    cache_hit: bool = False
 
     @property
     def ok(self) -> bool:
@@ -196,33 +204,79 @@ class BatchResult:
 _Task = Tuple[int, int, SequenceLike]
 
 #: Per-process state installed by the pool initializer: the plans (one per
-#: distinct constraint set), the options, the optional prior, and the
-#: optional query plan.
+#: distinct constraint set), the options, the optional prior, the
+#: optional query plan, and the optional graph store.
 _worker_state: Optional[Tuple[Dict[int, SharedCleaningPlan],
                               CleaningOptions, Optional[object],
-                              Optional[QueryPlan]]] = None
+                              Optional[QueryPlan], Optional[object]]] = None
 
 
 def _init_worker(table: Dict[int, ConstraintSet], options: CleaningOptions,
                  prior: Optional[object], static_checked: bool,
-                 query_plan: Optional[QueryPlan]) -> None:
+                 query_plan: Optional[QueryPlan],
+                 store: Optional[object] = None) -> None:
     global _worker_state
     _worker_state = ({key: SharedCleaningPlan(constraints,
                                               static_checked=static_checked)
                       for key, constraints in table.items()},
-                     options, prior, query_plan)
+                     options, prior, query_plan, store)
+
+
+def _clean_one_stored(index: int, lsequence: LSequence,
+                      plan: SharedCleaningPlan, options: CleaningOptions,
+                      query_plan: Optional[QueryPlan], store,
+                      started: float) -> BatchOutcome:
+    """Store-mode cleaning of one object: consult the cache, write a
+    ``.ctg`` segment on a miss, ship only the *path* back to the parent.
+
+    No graph ever crosses the process pipe: a miss is cleaned with
+    ``materialize="store"`` (the engine writes its arrays straight into
+    the entry's staging file, published atomically), queries run against
+    the worker-local mmap view, and the outcome carries ``ctg_path`` for
+    the parent to re-open.  A hit skips Algorithm 1 entirely.
+    """
+    key = store.key_for(lsequence, plan.constraints, options)
+    path = store.path_for(key)
+    cache_hit = path.exists()
+    if not cache_hit:
+        temp = store.temp_path_for(key)
+        try:
+            graph = build_ct_graph(
+                lsequence, plan.constraints,
+                dataclasses.replace(options, materialize="store",
+                                    output=str(temp)),
+                plan=plan)
+            graph.close()
+            store.commit(temp, key)
+        except BaseException:
+            if temp.exists():
+                temp.unlink()
+            raise
+    queries: Optional[Tuple[QueryResult, ...]] = None
+    if query_plan is not None:
+        with store.load(key) as graph:
+            session = QuerySession(graph)
+            queries = tuple(_execute_statement(session, statement)
+                            for statement in query_plan.statements)
+    return BatchOutcome(index=index, queries=queries,
+                        seconds=time.perf_counter() - started,
+                        ctg_path=str(path), cache_hit=cache_hit)
 
 
 def _clean_one(index: int, sequence: SequenceLike,
                plan: SharedCleaningPlan, options: CleaningOptions,
                prior: Optional[object],
-               query_plan: Optional[QueryPlan] = None) -> BatchOutcome:
+               query_plan: Optional[QueryPlan] = None,
+               store=None) -> BatchOutcome:
     started = time.perf_counter()
     try:
         if isinstance(sequence, ReadingSequence):
             lsequence = LSequence.from_readings(sequence, prior)
         else:
             lsequence = sequence
+        if store is not None:
+            return _clean_one_stored(index, lsequence, plan, options,
+                                     query_plan, store, started)
         if (query_plan is not None and not query_plan.keep_graphs
                 and options.materialize == "auto"):
             # Nobody will see the graph — only the query results travel
@@ -251,9 +305,9 @@ def _clean_one(index: int, sequence: SequenceLike,
 def _worker_clean_chunk(chunk: Sequence[_Task]) -> List[BatchOutcome]:
     if _worker_state is None:
         raise RuntimeError("worker initializer did not run")
-    plans, options, prior, query_plan = _worker_state
+    plans, options, prior, query_plan, store = _worker_state
     return [_clean_one(index, sequence, plans[key], options, prior,
-                       query_plan)
+                       query_plan, store)
             for index, key, sequence in chunk]
 
 
@@ -315,7 +369,8 @@ class _PoolSupervisor:
                  workers: int, timeout_seconds: Optional[float],
                  max_retries: int, context,
                  static_checked: bool,
-                 query_plan: Optional[QueryPlan] = None) -> None:
+                 query_plan: Optional[QueryPlan] = None,
+                 store: Optional[object] = None) -> None:
         self.table = table
         self.options = options
         self.prior = prior
@@ -325,6 +380,7 @@ class _PoolSupervisor:
         self.context = context
         self.static_checked = static_checked
         self.query_plan = query_plan
+        self.store = store
         self.respawns = 0
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -335,7 +391,7 @@ class _PoolSupervisor:
                 max_workers=self.workers, mp_context=self.context,
                 initializer=_init_worker,
                 initargs=(self.table, self.options, self.prior,
-                          self.static_checked, self.query_plan))
+                          self.static_checked, self.query_plan, self.store))
 
     def _discard(self, kill: bool) -> None:
         """Drop the current pool; ``kill`` terminates still-busy workers
@@ -555,7 +611,8 @@ class BatchCleaner:
                  timeout_seconds: Optional[float] = None,
                  max_retries: int = 1,
                  start_method: Optional[str] = None,
-                 query_plan: Optional[QueryPlan] = None) -> None:
+                 query_plan: Optional[QueryPlan] = None,
+                 store: Optional[GraphStore] = None) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
@@ -579,7 +636,21 @@ class BatchCleaner:
             raise BatchConfigurationError(
                 f"query_plan must be a QueryPlan, got "
                 f"{type(query_plan).__name__}")
+        if store is not None:
+            if not isinstance(store, GraphStore):
+                raise BatchConfigurationError(
+                    f"store must be a GraphStore, got "
+                    f"{type(store).__name__}")
+            if options.materialize == "nodes":
+                raise BatchConfigurationError(
+                    "store= persists flat .ctg entries; "
+                    'materialize="nodes" cannot be combined with it')
+            if options.output is not None:
+                raise BatchConfigurationError(
+                    "store= chooses each object's .ctg path by content "
+                    "key; it cannot be combined with options.output")
         self._constraints = constraints
+        self.store = store
         self.query_plan = query_plan
         self.options = options
         self.workers = workers
@@ -643,7 +714,7 @@ class BatchCleaner:
                      for key, constraints in table.items()}
             outcomes = [_clean_one(index, sequence, plans[key],
                                    self.options, self.prior,
-                                   self.query_plan)
+                                   self.query_plan, self.store)
                         for index, key, sequence in tasks]
         else:
             static_checked = False
@@ -662,7 +733,7 @@ class BatchCleaner:
                 max_retries=self.max_retries,
                 context=_pool_context(self.start_method),
                 static_checked=static_checked,
-                query_plan=self.query_plan)
+                query_plan=self.query_plan, store=self.store)
             try:
                 by_index = supervisor.run(chunks)
             finally:
@@ -673,6 +744,25 @@ class BatchCleaner:
                 raise RuntimeError(
                     f"batch supervisor lost outcomes for objects {missing}")
             outcomes = [by_index[index] for index in range(len(tasks))]
+        if self.store is not None:
+            # The workers consulted the store's directory, not this
+            # instance; fold their per-outcome verdicts into its counters.
+            for outcome in outcomes:
+                if outcome.ok and outcome.ctg_path is not None:
+                    if outcome.cache_hit:
+                        self.store.hits += 1
+                    else:
+                        self.store.misses += 1
+        if self.store is not None and (self.query_plan is None
+                                       or self.query_plan.keep_graphs):
+            # Workers shipped paths, not graphs: re-open every entry as a
+            # zero-copy mmap view in the parent.
+            outcomes = [
+                dataclasses.replace(
+                    outcome,
+                    graph=load_ctg(outcome.ctg_path, mmap=self.store.mmap))
+                if outcome.ok and outcome.ctg_path is not None else outcome
+                for outcome in outcomes]
         return BatchResult(outcomes=tuple(outcomes),
                            wall_seconds=time.perf_counter() - started,
                            workers=workers, chunk_size=chunk,
@@ -688,7 +778,8 @@ def clean_many(sequences: Sequence[SequenceLike],
                timeout_seconds: Optional[float] = None,
                max_retries: int = 1,
                start_method: Optional[str] = None,
-               query_plan: Optional[QueryPlan] = None) -> BatchResult:
+               query_plan: Optional[QueryPlan] = None,
+               store: Optional[GraphStore] = None) -> BatchResult:
     """Clean a collection of objects, optionally across worker processes.
 
     The one-call form of :class:`BatchCleaner` — see its docstring for the
@@ -696,11 +787,16 @@ def clean_many(sequences: Sequence[SequenceLike],
     ``query_plan`` runs :mod:`repro.queries.ql` statements against every
     graph inside the workers (see :class:`~repro.runtime.plan.QueryPlan`) —
     the way to get marginals or MAP paths out of a big batch without
-    shipping every graph back through pickling.
+    shipping every graph back through pickling.  ``store`` routes every
+    outcome through a :class:`~repro.store.GraphStore`: workers write
+    ``.ctg`` entries (cache hits skip cleaning entirely) and return only
+    paths over the pipe; the parent re-opens each entry as an mmap-backed
+    view, so no graph is ever pickled.  ``outcome.cache_hit`` and
+    ``outcome.ctg_path`` record the store interaction.
     """
     cleaner = BatchCleaner(constraints, options=options, workers=workers,
                            chunk_size=chunk_size, prior=prior,
                            timeout_seconds=timeout_seconds,
                            max_retries=max_retries, start_method=start_method,
-                           query_plan=query_plan)
+                           query_plan=query_plan, store=store)
     return cleaner.clean(sequences)

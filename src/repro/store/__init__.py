@@ -1,0 +1,46 @@
+"""Persistent binary storage for cleaned ct-graphs.
+
+The storage tier of the pipeline (ingest -> clean -> **store** -> query):
+
+* :mod:`repro.store.format` — the ``rfid-ctg/ctg@1`` single-file binary
+  codec: :func:`write_ctg`/:func:`save_ctg` write a graph's columns as
+  little-endian int32/float64 sections behind a checksummed header, and
+  :func:`load_ctg` serves them back as a zero-copy
+  :class:`MappedCTGraph` view over one ``mmap``, ready for
+  :class:`~repro.queries.session.QuerySession` without deserialisation.
+* :mod:`repro.store.graphstore` — :class:`GraphStore`, a
+  content-addressed directory of entries keyed by the SHA-256 of the
+  cleaning problem (:func:`content_key`), so repeat cleanings are cache
+  hits; ``clean_many(..., store=...)`` builds on it to keep graphs off
+  the worker pipe entirely.
+
+The engines write the format natively via
+``CleaningOptions(materialize="store", output=...)`` — see
+``docs/store.md`` for the format spec, the mmap contract and the cache
+keying rules, and ``benchmarks/bench_store.py`` for the numbers.
+"""
+
+from repro.errors import StoreChecksumError, StoreError, StoreFormatError
+from repro.store.format import (
+    CTG_MAGIC,
+    CTG_VERSION,
+    MappedCTGraph,
+    load_ctg,
+    save_ctg,
+    write_ctg,
+)
+from repro.store.graphstore import GraphStore, content_key
+
+__all__ = [
+    "CTG_MAGIC",
+    "CTG_VERSION",
+    "GraphStore",
+    "MappedCTGraph",
+    "StoreChecksumError",
+    "StoreError",
+    "StoreFormatError",
+    "content_key",
+    "load_ctg",
+    "save_ctg",
+    "write_ctg",
+]

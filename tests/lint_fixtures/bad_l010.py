@@ -1,0 +1,12 @@
+"""L010 fixture: raw .ctg byte codec outside repro/store/."""
+
+import struct
+
+
+def read_ctg_header(blob):
+    magic, version = struct.unpack("<8sI", blob[:12])
+    return magic, version
+
+
+def patch_crc(blob, crc):
+    struct.pack_into("<I", blob, 56, crc)

@@ -35,7 +35,8 @@ class TestRegistry:
 
     def test_codes_are_the_l_series(self):
         assert rule_codes() == ("L001", "L002", "L003", "L004",
-                                "L005", "L006", "L007", "L008", "L009")
+                                "L005", "L006", "L007", "L008", "L009",
+                                "L010")
 
     def test_every_rule_documents_itself(self):
         for rule in all_rules():
@@ -60,7 +61,7 @@ class TestFixtures:
 
     @pytest.mark.parametrize("code", ["L001", "L002", "L003", "L004",
                                       "L005", "L006", "L007", "L008",
-                                      "L009"])
+                                      "L009", "L010"])
     def test_bad_fixture_triggers_exactly_its_rule(self, code):
         fixture = FIXTURES / f"bad_{code.lower()}.py"
         findings = lint_path(fixture)

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck check bench bench-paper bench-parallel bench-faults bench-engine bench-queries bench-kernels bench-store report examples loc clean
+.PHONY: install test lint typecheck check bench bench-paper bench-parallel bench-faults bench-engine bench-queries bench-kernels bench-store bench-streaming report examples loc clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -80,6 +80,13 @@ bench-kernels:
 bench-store:
 	$(PYTHON) benchmarks/bench_store.py --backend numpy --out BENCH_store.json
 	$(PYTHON) benchmarks/bench_store.py --check BENCH_store.json
+
+# Bounded-memory streaming: 100k-step stream with window=64, eviction
+# and resume bit-equality gates plus the memory bounds,
+# BENCH_streaming.json with the throughput.  Stdlib-only.
+bench-streaming:
+	$(PYTHON) benchmarks/bench_streaming.py --out BENCH_streaming.json
+	$(PYTHON) benchmarks/bench_streaming.py --check BENCH_streaming.json
 
 report:
 	$(PYTHON) -m repro.cli report --both --scale small --out evaluation_report.md

@@ -1,0 +1,314 @@
+"""Bounded-memory streaming: eviction exactness, resume, throughput.
+
+Three claims about :class:`repro.streaming.StreamingCleaner` are
+measured and gated on a long synthetic reading stream (full run:
+100k steps, ``window=64``):
+
+* **bounded memory** — the retained level count never exceeds the
+  window and the per-level frontier never exceeds the workload's
+  state-space bound, no matter how long the stream runs (the whole
+  point of evicting settled prefix levels into the frontier summary);
+* **eviction exactness** — ``filtered_distribution()`` is *bit-equal*
+  (``==`` on floats, not approximate) at every step to an
+  :class:`~repro.core.incremental.IncrementalCleaner` that retains the
+  entire stream, over a long shared prefix;
+* **resume exactness** — checkpointing mid-stream, resuming from the
+  file and feeding the remainder yields bit-equal filtered estimates
+  and a bit-identical ``finalize()`` graph versus the uninterrupted
+  run.
+
+Emits a machine-readable ``BENCH_streaming.json``.  Usage::
+
+    python benchmarks/bench_streaming.py                  # full run
+    python benchmarks/bench_streaming.py --smoke          # CI-sized
+    python benchmarks/bench_streaming.py --check BENCH_streaming.json
+
+``--check`` validates an existing result file and exits non-zero on
+problems.  The parity flags and the memory bounds are gated in every
+payload (they are correctness claims, not performance numbers); the
+throughput is reported, not gated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.algorithm import CleaningOptions
+from repro.core.constraints import (
+    ConstraintSet,
+    Latency,
+    TravelingTime,
+    Unreachable,
+)
+from repro.core.incremental import IncrementalCleaner
+from repro.streaming import StreamingCleaner
+
+SCHEMA_VERSION = 1
+
+DURATION = 100_000
+SMOKE_DURATION = 2_000
+WINDOW = 64
+
+#: Locations of the synthetic floor.  Full-support rows keep the
+#: frontier alive (and maximally wide) at every step.
+LOCATIONS = ("A", "B", "C", "D", "E", "F", "G", "H")
+
+#: How far back the full-retention IncrementalCleaner shadows the
+#: stream for the bit-equality check (it holds every level, so the
+#: shadow is capped; the streaming side continues to the full horizon).
+PARITY_PREFIX = 4_096
+
+SEED = 20140328  # EDBT 2014 in Athens
+
+
+def stream_constraints() -> ConstraintSet:
+    """Constraints that exercise every state dimension.
+
+    ``Latency`` makes the frontier track stay counters, and
+    ``TravelingTime`` makes it track departure logs — the two parts of
+    the Markov state beyond the bare location — so the bound we gate is
+    the bound of the *general* state space, not of a degenerate one.
+    """
+    return ConstraintSet([
+        Unreachable("A", "E"),
+        Unreachable("E", "A"),
+        Unreachable("C", "G"),
+        Latency("B", 3),
+        TravelingTime("B", "F", 4),
+    ])
+
+
+def synthetic_row(rng: random.Random) -> Dict[str, float]:
+    """One full-support candidate row with seeded random weights."""
+    weights = [rng.random() + 0.05 for _ in LOCATIONS]
+    total = sum(weights)
+    return {name: weight / total
+            for name, weight in zip(LOCATIONS, weights)}
+
+
+def run(duration: int, window: int, smoke: bool) -> Dict[str, object]:
+    """Execute the streaming workload; returns the JSON payload."""
+    constraints = stream_constraints()
+    options = CleaningOptions(materialize="flat")
+    rng = random.Random(SEED)
+    rows = [synthetic_row(rng) for _ in range(duration)]
+
+    prefix = min(duration, PARITY_PREFIX)
+    resume_at = duration // 2
+
+    streaming = StreamingCleaner(constraints, window=window,
+                                 options=options)
+    shadow = IncrementalCleaner(constraints, options=options)
+    reference = StreamingCleaner(constraints, window=window,
+                                 options=options)
+
+    retained_max = 0
+    frontier_max = 0
+    filtered_bit_equal = True
+    resume_bit_equal = True
+
+    fd, ckpt_path = tempfile.mkstemp(prefix="bench_streaming_",
+                                     suffix=".ckpt")
+    os.close(fd)
+    resumed: Optional[StreamingCleaner] = None
+    try:
+        started = time.perf_counter()
+        for t, row in enumerate(rows):
+            streaming.extend(row)
+            retained_max = max(retained_max, streaming.retained_duration)
+            frontier_max = max(frontier_max, streaming.frontier_size())
+            if t < prefix:
+                shadow.extend(row)
+                if (streaming.filtered_distribution()
+                        != shadow.filtered_distribution()):
+                    filtered_bit_equal = False
+        elapsed = time.perf_counter() - started
+
+        # -- checkpoint/resume against the uninterrupted reference ------
+        for row in rows[:resume_at]:
+            reference.extend(row)
+        reference.checkpoint(ckpt_path)
+        resumed = StreamingCleaner.resume(ckpt_path)
+        for row in rows[resume_at:]:
+            reference.extend(row)
+            resumed.extend(row)
+            if (resumed.filtered_distribution()
+                    != reference.filtered_distribution()):
+                resume_bit_equal = False
+        finalize_bit_equal = (resumed.finalize() == reference.finalize()
+                              and resumed.base == reference.base)
+    finally:
+        os.unlink(ckpt_path)
+
+    ckpt_bytes = streaming.checkpoint(ckpt_path + ".size")
+    os.unlink(ckpt_path + ".size")
+
+    # The frontier is one state per (location, live stay counter, live
+    # departure log); with L locations, one Latency(limit) and one
+    # TravelingTime(ttime) the per-level state count is bounded by
+    # L * (limit + 2) * (ttime + 2) regardless of stream length.
+    frontier_gate = len(LOCATIONS) * (3 + 2) * (4 + 2)
+
+    return {
+        "benchmark": "bench_streaming",
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "cpu_count": os.cpu_count() or 1,
+        "smoke": smoke,
+        "workload": {
+            "generator": "full-support seeded stream",
+            "locations": len(LOCATIONS),
+            "duration": duration,
+            "window": window,
+            "parity_prefix": prefix,
+            "resume_at": resume_at,
+        },
+        "memory": {
+            "retained_levels_max": retained_max,
+            "frontier_states_max": frontier_max,
+            "frontier_states_gate": frontier_gate,
+            "checkpoint_bytes": ckpt_bytes,
+        },
+        "parity": {
+            "filtered_bit_equal": filtered_bit_equal,
+            "resume_bit_equal": resume_bit_equal,
+            "finalize_bit_equal": finalize_bit_equal,
+        },
+        "throughput": {
+            "ingest_seconds": elapsed,
+            "readings_per_second": duration / elapsed,
+        },
+    }
+
+
+def validate_payload(payload: Dict[str, object]) -> List[str]:
+    """Schema + gate check of a ``BENCH_streaming.json`` payload."""
+    problems: List[str] = []
+
+    def expect(condition: bool, message: str) -> None:
+        if not condition:
+            problems.append(message)
+
+    expect(payload.get("benchmark") == "bench_streaming",
+           "benchmark name missing or wrong")
+    expect(payload.get("schema_version") == SCHEMA_VERSION,
+           f"schema_version must be {SCHEMA_VERSION}")
+    expect(isinstance(payload.get("smoke"), bool), "smoke must be a bool")
+
+    workload = payload.get("workload")
+    if not (isinstance(workload, dict)
+            and isinstance(workload.get("duration"), int)
+            and workload["duration"] > 0
+            and isinstance(workload.get("window"), int)
+            and workload["window"] > 0):
+        problems.append("workload must describe duration/window")
+        workload = None
+
+    memory = payload.get("memory")
+    if not (isinstance(memory, dict)
+            and isinstance(memory.get("retained_levels_max"), int)
+            and isinstance(memory.get("frontier_states_max"), int)
+            and isinstance(memory.get("frontier_states_gate"), int)):
+        problems.append("memory block missing or malformed")
+        memory = None
+
+    if workload is not None and memory is not None:
+        expect(memory["retained_levels_max"] <= workload["window"],
+               "memory is unbounded: retained levels "
+               f"{memory['retained_levels_max']} exceed the window "
+               f"{workload['window']}")
+        expect(memory["frontier_states_max"]
+               <= memory["frontier_states_gate"],
+               "frontier grew past the state-space bound "
+               f"({memory['frontier_states_max']} > "
+               f"{memory['frontier_states_gate']})")
+        expect(workload["duration"] > workload["window"],
+               "workload never evicted — duration must exceed the window")
+
+    parity = payload.get("parity")
+    if not isinstance(parity, dict):
+        problems.append("parity block missing")
+    else:
+        for flag in ("filtered_bit_equal", "resume_bit_equal",
+                     "finalize_bit_equal"):
+            expect(parity.get(flag) is True,
+                   f"parity.{flag} must be true — the streaming path "
+                   "diverged from the exact reference")
+
+    throughput = payload.get("throughput")
+    expect(isinstance(throughput, dict)
+           and isinstance(throughput.get("ingest_seconds"), float)
+           and throughput["ingest_seconds"] > 0.0
+           and isinstance(throughput.get("readings_per_second"), float)
+           and throughput["readings_per_second"] > 0.0,
+           "throughput must record positive ingest timings")
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=int, default=DURATION)
+    parser.add_argument("--window", type=int, default=WINDOW)
+    parser.add_argument("--out", default="BENCH_streaming.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized stream (2k steps; same gates — "
+                             "the bounds and parity are size-independent)")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate an existing result file and exit")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        with open(args.check) as handle:
+            payload = json.load(handle)
+        problems = validate_payload(payload)
+        for problem in problems:
+            print(f"SCHEMA: {problem}", file=sys.stderr)
+        if not problems:
+            memory = payload["memory"]
+            print(f"{args.check}: well-formed "
+                  f"({payload['workload']['duration']} steps, retained "
+                  f"<= {memory['retained_levels_max']} levels, frontier "
+                  f"<= {memory['frontier_states_max']} states, "
+                  "parity ok)")
+        return 1 if problems else 0
+
+    if args.smoke:
+        args.duration = min(args.duration, SMOKE_DURATION)
+
+    payload = run(args.duration, args.window, args.smoke)
+    problems = validate_payload(payload)
+    if problems:
+        for problem in problems:
+            print(f"SELF-CHECK: {problem}", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    workload, memory = payload["workload"], payload["memory"]
+    throughput = payload["throughput"]
+    print(f"workload: {workload['duration']} steps x "
+          f"{workload['locations']} locations, window "
+          f"{workload['window']}")
+    print(f"memory: retained <= {memory['retained_levels_max']} levels "
+          f"(window {workload['window']}), frontier <= "
+          f"{memory['frontier_states_max']} states (gate "
+          f"{memory['frontier_states_gate']}), checkpoint "
+          f"{memory['checkpoint_bytes']} B")
+    print(f"parity: filtered bit-equal over {workload['parity_prefix']} "
+          f"steps, resume + finalize bit-equal from step "
+          f"{workload['resume_at']}")
+    print(f"throughput: {throughput['readings_per_second']:,.0f} "
+          f"readings/s ({throughput['ingest_seconds']:.1f} s ingest)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

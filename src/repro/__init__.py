@@ -60,8 +60,10 @@ from repro.runtime import (
     BatchResult,
     QueryPlan,
     SharedCleaningPlan,
+    StreamSessionManager,
     clean_many,
 )
+from repro.streaming import StreamingCleaner
 from repro.geometry import Point, Rect, Segment
 from repro.inference import (
     MotilityProfile,
@@ -167,6 +169,8 @@ __all__ = [
     "is_valid_trajectory", "violations",
     "IncrementalCleaner", "JointGraph", "condition_on_meeting",
     "condition_group",
+    # streaming
+    "StreamingCleaner", "StreamSessionManager",
     "MarkovianStream",
     "SmoothingFilter", "ParticleFilter", "BeamCleaner",
     "diagnose", "InconsistencyReport",

@@ -260,6 +260,51 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.add_argument("--list-rules", action="store_true",
                           help="print the registered rules and exit")
 
+    serve = sub.add_parser(
+        "serve", help="long-lived streaming service: ingest line-delimited "
+                      "JSON readings for many objects, emit live filtered "
+                      "estimates, checkpoint periodically, resume after a "
+                      "kill")
+    serve.add_argument("--constraints-file", required=True, metavar="PATH",
+                       help="constraints JSON (rfid-ctg/constraints@1, as "
+                            "written by `rfid-ctg export`)")
+    serve.add_argument("--input", default="-", metavar="PATH",
+                       help="readings source: a file of JSON lines like "
+                            '{"object": "tag1", "candidates": {"A": 0.7, '
+                            '"B": 0.3}}, or - for stdin (default)')
+    serve.add_argument("--window", type=int, default=64,
+                       help="retained-window length per object; older "
+                            "levels are evicted into the exact entry "
+                            "summary (default: 64)")
+    serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="directory for per-object .ckpt files "
+                            "(enables checkpointing)")
+    serve.add_argument("--checkpoint-every", type=int, default=0,
+                       metavar="N",
+                       help="checkpoint each object every N ingested "
+                            "readings (0: only at exit)")
+    serve.add_argument("--resume", action="store_true",
+                       help="restore every session found in "
+                            "--checkpoint-dir before ingesting; already-"
+                            "checkpointed readings in the input are "
+                            "skipped instead of reingested")
+    serve.add_argument("--max-readings", type=int, default=None, metavar="N",
+                       help="stop after ingesting N readings (kill "
+                            "simulation / smoke tests)")
+    serve.add_argument("--no-final-checkpoint", action="store_true",
+                       help="skip the exit checkpoint (simulates an "
+                            "abrupt kill after the last periodic one)")
+    serve.add_argument("--estimate-every", type=int, default=0, metavar="N",
+                       help="emit a live estimate line every N readings "
+                            "per object (0: only the final lines)")
+    serve.add_argument("--follow", action="store_true",
+                       help="tail the --input file for appended lines "
+                            "instead of stopping at EOF")
+    serve.add_argument("--idle-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="with --follow: exit once no new line arrived "
+                            "for this long (default: follow forever)")
+
     map_cmd = sub.add_parser(
         "map", help="render a floor plan (optionally with a position estimate)")
     add_common(map_cmd)
@@ -672,6 +717,105 @@ def _command_lint(args: argparse.Namespace) -> int:
     return lint_main(lint_args)
 
 
+def _serve_lines(args: argparse.Namespace):
+    """The input lines of `serve`: stdin, a file, or a followed file."""
+    if args.input == "-":
+        for line in sys.stdin:
+            yield line
+        return
+    if not args.follow:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            for line in handle:
+                yield line
+        return
+    idle = 0.0
+    poll = 0.2
+    with open(args.input, "r", encoding="utf-8") as handle:
+        while True:
+            line = handle.readline()
+            if line:
+                # A line without its newline is still being appended;
+                # wait for the writer to finish it.
+                if not line.endswith("\n"):
+                    handle.seek(handle.tell() - len(line))
+                    time.sleep(poll)
+                    continue
+                idle = 0.0
+                yield line
+                continue
+            if args.idle_timeout is not None and idle >= args.idle_timeout:
+                return
+            time.sleep(poll)
+            idle += poll
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import InconsistentReadingsError, ReadingSequenceError
+    from repro.io.jsonio import load_constraints
+    from repro.runtime.sessions import StreamSessionManager
+
+    def emit(payload: dict) -> None:
+        print(json.dumps(payload, sort_keys=True), flush=True)
+
+    constraints = load_constraints(args.constraints_file)
+    manager = StreamSessionManager(
+        constraints, window=args.window,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=(args.checkpoint_every
+                          if args.checkpoint_dir else 0),
+        resume=args.resume)
+    # Readings already covered by a resumed checkpoint are *skipped*, so
+    # feeding the same input file again continues where the kill struck.
+    resumed_duration = {object_id: manager.session(object_id).duration
+                        for object_id in manager.objects()}
+    seen: dict = {}
+    ingested = 0
+    for line in _serve_lines(args):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            reading = json.loads(line)
+            object_id = reading["object"]
+            candidates = reading["candidates"]
+        except (ValueError, KeyError, TypeError):
+            print(f"serve: skipping malformed line: {line[:120]}",
+                  file=sys.stderr)
+            continue
+        seen[object_id] = seen.get(object_id, 0) + 1
+        if seen[object_id] <= resumed_duration.get(object_id, 0):
+            continue
+        try:
+            estimate = manager.ingest(object_id, candidates)
+        except (InconsistentReadingsError, ReadingSequenceError) as error:
+            emit({"object": object_id, "t": seen[object_id] - 1,
+                  "dropped": f"{type(error).__name__}: {error}"})
+            continue
+        ingested += 1
+        cleaner = manager.session(object_id)
+        if args.estimate_every and \
+                cleaner.duration % args.estimate_every == 0:
+            emit({"object": object_id, "t": cleaner.duration - 1,
+                  "estimate": estimate})
+        if args.max_readings is not None and ingested >= args.max_readings:
+            break
+    for object_id in sorted(manager.objects()):
+        cleaner = manager.session(object_id)
+        if cleaner.duration == 0:
+            continue
+        emit({"object": object_id, "final": True,
+              "duration": cleaner.duration, "base": cleaner.base,
+              "frontier_states": cleaner.frontier_size(),
+              "estimate": cleaner.filtered_distribution()})
+    if args.checkpoint_dir and not args.no_final_checkpoint:
+        for object_id, path in sorted(manager.checkpoint_all().items()):
+            print(f"serve: checkpointed {object_id!r} -> {path}",
+                  file=sys.stderr)
+    return 0
+
+
 def _command_map(args: argparse.Namespace) -> int:
     from repro.viz import render_floor, render_marginal
 
@@ -707,6 +851,7 @@ _COMMANDS = {
     "ql": _command_ql,
     "analyze": _command_analyze,
     "lint": _command_lint,
+    "serve": _command_serve,
     "map": _command_map,
 }
 

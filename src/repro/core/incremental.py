@@ -16,6 +16,11 @@ frontier of node states under the Definition 3 successor relation:
   probability, to the batch algorithm run on the whole sequence (a
   property the tests assert).
 
+The cleaner keeps every ingested row, so its memory grows with the stream;
+for unbounded streams use :class:`repro.streaming.StreamingCleaner`, which
+shares this module's frontier arithmetic (:func:`advance_frontier`) but
+evicts settled prefix levels and stays O(window).
+
 One caveat: the exact ``TL`` pruning of the batch algorithm
 (:class:`repro.core.nodes.DepartureFilter`) needs the *future* support and
 is therefore unavailable online; the live frontier can carry more node
@@ -25,18 +30,147 @@ states than the batch forward phase would.  Probabilities are unaffected.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping
+from dataclasses import replace
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.algorithm import CleaningOptions, build_ct_graph
 from repro.core.constraints import ConstraintSet
 from repro.core.ctgraph import CTGraph
+from repro.core.flatgraph import FlatCTGraph
 from repro.core.lsequence import LSequence
-from repro.core.nodes import NodeState, source_states, successor_state
+from repro.core.nodes import (
+    NodeState,
+    source_states,
+    state_location,
+    successor_state,
+)
 from repro.errors import InconsistentReadingsError, ReadingSequenceError
 
-__all__ = ["IncrementalCleaner"]
+if TYPE_CHECKING:
+    from repro.store.format import MappedCTGraph
+
+__all__ = [
+    "IncrementalCleaner",
+    "FinalizedGraph",
+    "advance_frontier",
+    "coerce_candidate_row",
+    "resolve_finalize_options",
+]
 
 _PROBABILITY_FLOOR = 1e-15
+
+#: What :meth:`IncrementalCleaner.finalize` actually returns — the shape
+#: follows ``options.materialize`` exactly as in :func:`build_ct_graph`:
+#: ``"nodes"``/``"auto"`` yield a :class:`CTGraph`, ``"flat"`` a
+#: :class:`FlatCTGraph`, ``"store"`` an mmap-backed
+#: :class:`~repro.store.format.MappedCTGraph` view of the written file.
+FinalizedGraph = Union[CTGraph, FlatCTGraph, "MappedCTGraph"]
+
+
+def coerce_candidate_row(candidates: Mapping[str, float],
+                         timestep: int) -> Dict[str, float]:
+    """One timestep's candidate distribution, validated and normalised.
+
+    Every probability is coerced through ``float`` exactly once and the
+    *coerced* value is reused for the positivity filter and the row — an
+    int, a numpy scalar or a numeric string therefore behaves like the
+    float it denotes instead of crashing with a bare ``TypeError`` deep
+    in a comparison.  Raises :class:`ReadingSequenceError` when a value
+    does not coerce, is NaN/infinite/negative (NaN fails every ``>``
+    test, so the floor filter alone would silently swallow it), or when
+    no location keeps positive mass.  Entry order is preserved — it
+    determines downstream dict iteration, hence bit-exact results.
+    """
+    coerced: Dict[str, float] = {}
+    for location, p in candidates.items():
+        try:
+            value = float(p)
+        except (TypeError, ValueError):
+            raise ReadingSequenceError(
+                f"timestep {timestep}: probability of {location!r} is "
+                f"{p!r}, which does not coerce to a float") from None
+        if not (value >= 0.0 and math.isfinite(value)):
+            raise ReadingSequenceError(
+                f"timestep {timestep}: probability of "
+                f"{location!r} is {value!r}; candidate probabilities "
+                "must be finite and non-negative")
+        if value > _PROBABILITY_FLOOR:
+            coerced[location] = value
+    if not coerced:
+        raise ReadingSequenceError(
+            f"timestep {timestep}: no location has positive "
+            "probability")
+    total = math.fsum(coerced.values())
+    return {location: p / total for location, p in coerced.items()}
+
+
+def advance_frontier(frontier: Dict[NodeState, float],
+                     row: Mapping[str, float], tau: int,
+                     constraints: ConstraintSet) -> Dict[NodeState, float]:
+    """One step of the filtered-forward recursion.
+
+    Returns the unnormalised (peak-rescaled) forward mass over the node
+    states of timestep ``tau`` given the mass over timestep ``tau - 1``
+    (``tau == 0`` seeds from :func:`source_states` instead).  This is the
+    single shared implementation of the recursion — the unbounded
+    :class:`IncrementalCleaner` and the windowed
+    :class:`repro.streaming.StreamingCleaner` both call it, which is what
+    makes their filtered estimates bit-identical.  Returns an empty dict
+    when no valid continuation exists; the input ``frontier`` is never
+    mutated.
+    """
+    advanced: Dict[NodeState, float] = {}
+    if tau == 0:
+        for location, state in source_states(row, constraints).items():
+            advanced[state] = row[location]
+        return advanced
+    for state, mass in frontier.items():
+        for destination, probability in row.items():
+            successor = successor_state(tau - 1, state, destination,
+                                        constraints)
+            if successor is not None:
+                advanced[successor] = (advanced.get(successor, 0.0)
+                                       + mass * probability)
+    # Rescale to ward off underflow on long streams (only ratios
+    # matter for the filtered distribution).
+    peak = max(advanced.values(), default=0.0)
+    if peak > 0.0:
+        advanced = {state: mass / peak
+                    for state, mass in advanced.items()}
+    return advanced
+
+
+def resolve_finalize_options(options: CleaningOptions,
+                             output: Optional[str],
+                             output_consumed: bool,
+                             ) -> Tuple[CleaningOptions, bool]:
+    """The effective options of one ``finalize()`` call.
+
+    Returns ``(effective_options, consumed_configured_output)``.  An
+    explicit ``output=`` always wins (and forces ``materialize="store"``,
+    which must not contradict an explicit non-store materialisation).
+    The *configured* ``options.output`` may be written exactly once per
+    cleaner — a repeat ``finalize()`` without a fresh explicit path
+    raises :class:`ReadingSequenceError` instead of silently overwriting
+    the previous result.
+    """
+    if output is not None:
+        if options.materialize not in ("auto", "store"):
+            raise ReadingSequenceError(
+                f"finalize(output=...) writes a .ctg file, which requires "
+                f"materialize='store' (or 'auto'), "
+                f"not {options.materialize!r}")
+        return (replace(options, materialize="store", output=str(output)),
+                False)
+    if not options.store_materialize:
+        return options, False
+    if output_consumed:
+        raise ReadingSequenceError(
+            f"finalize() already wrote {options.output!r}; calling it "
+            "again would silently overwrite that file — pass "
+            "finalize(output=...) with a fresh path (or re-use the old "
+            "one explicitly)")
+    return options, True
 
 
 class IncrementalCleaner:
@@ -51,6 +185,9 @@ class IncrementalCleaner:
         self._rows: List[Dict[str, float]] = []
         # Unnormalised filtered mass per frontier node state.
         self._frontier: Dict[NodeState, float] = {}
+        # Whether finalize() already wrote the *configured* options.output
+        # (an explicit finalize(output=...) never sets this).
+        self._output_consumed = False
 
     # ------------------------------------------------------------------
     @property
@@ -71,48 +208,16 @@ class IncrementalCleaner:
 
         Raises :class:`InconsistentReadingsError` when no valid
         continuation exists (the stream contradicts the constraints), and
-        :class:`ReadingSequenceError` when a candidate probability is
-        NaN, infinite, or negative — malformed input is rejected, never
-        silently dropped (NaN fails every ``>`` test, so the floor filter
-        alone would swallow it).  The cleaner's state is unchanged in
-        either case, so the caller may drop the offending reading and
-        continue.
+        :class:`ReadingSequenceError` when a candidate probability does
+        not coerce to a float or is NaN, infinite, or negative —
+        malformed input is rejected, never silently dropped.  The
+        cleaner's state is unchanged in either case, so the caller may
+        drop the offending reading and continue.
         """
-        for location, p in candidates.items():
-            value = float(p)
-            if not (value >= 0.0 and math.isfinite(value)):
-                raise ReadingSequenceError(
-                    f"timestep {self.duration}: probability of "
-                    f"{location!r} is {value!r}; candidate probabilities "
-                    "must be finite and non-negative")
-        row = {location: float(p) for location, p in candidates.items()
-               if p > _PROBABILITY_FLOOR}
-        if not row:
-            raise ReadingSequenceError(
-                f"timestep {self.duration}: no location has positive "
-                "probability")
-        total = math.fsum(row.values())
-        row = {location: p / total for location, p in row.items()}
-
+        row = coerce_candidate_row(candidates, self.duration)
         tau = self.duration
-        frontier: Dict[NodeState, float] = {}
-        if tau == 0:
-            for location, state in source_states(row, self.constraints).items():
-                frontier[state] = row[location]
-        else:
-            for state, mass in self._frontier.items():
-                for destination, probability in row.items():
-                    successor = successor_state(tau - 1, state, destination,
-                                                self.constraints)
-                    if successor is not None:
-                        frontier[successor] = (frontier.get(successor, 0.0)
-                                               + mass * probability)
-            # Rescale to ward off underflow on long streams (only ratios
-            # matter for the filtered distribution).
-            peak = max(frontier.values(), default=0.0)
-            if peak > 0.0:
-                frontier = {state: mass / peak
-                            for state, mass in frontier.items()}
+        frontier = advance_frontier(self._frontier, row, tau,
+                                    self.constraints)
         if not frontier:
             raise InconsistentReadingsError(
                 f"no valid continuation at timestep {tau}")
@@ -125,7 +230,8 @@ class IncrementalCleaner:
         if not self._rows:
             raise ReadingSequenceError("no readings ingested yet")
         raw: Dict[str, float] = {}
-        for (location, _stay, _departures), mass in self._frontier.items():
+        for state, mass in self._frontier.items():
+            location = state_location(state)
             raw[location] = raw.get(location, 0.0) + mass
         total = math.fsum(raw.values())
         return {location: mass / total for location, mass in raw.items()}
@@ -135,17 +241,35 @@ class IncrementalCleaner:
         return len(self._frontier)
 
     def lsequence(self) -> LSequence:
-        """The l-sequence accumulated so far (a copy)."""
+        """The l-sequence accumulated so far (an independent copy)."""
         if not self._rows:
             raise ReadingSequenceError("no readings ingested yet")
         return LSequence([dict(row) for row in self._rows], _validate=False)
 
-    def finalize(self) -> CTGraph:
+    def finalize(self, *, output: Optional[str] = None) -> FinalizedGraph:
         """Close the stream: run the exact conditioning, return the ct-graph.
 
-        Equals the batch algorithm's output on the accumulated sequence.
+        Equals the batch algorithm's output on the accumulated sequence,
+        in the shape ``options.materialize`` selects (see
+        :data:`FinalizedGraph`): a :class:`CTGraph` for ``"nodes"`` /
+        ``"auto"``, a :class:`FlatCTGraph` for ``"flat"``, an mmap-backed
+        :class:`~repro.store.format.MappedCTGraph` for ``"store"``.
+
         The cleaner keeps its state — more readings can be appended after
-        this call and :meth:`finalize` called again.
+        this call and :meth:`finalize` called again.  With ``"store"``
+        materialisation each call writes one file: the constructor-
+        configured ``options.output`` is honoured for the *first* call
+        only, and every further call must name a fresh path via
+        ``output=`` (raising :class:`ReadingSequenceError` otherwise)
+        instead of silently overwriting the earlier result.  An explicit
+        ``output=`` also works with ``materialize="auto"`` options — the
+        call then behaves exactly like ``build_ct_graph`` with
+        ``output=`` set, returning the mapped view.
         """
-        return build_ct_graph(self.lsequence(), self.constraints,
-                              self.options)
+        lsequence = self.lsequence()
+        options, consumed = resolve_finalize_options(
+            self.options, output, self._output_consumed)
+        graph = build_ct_graph(lsequence, self.constraints, options)
+        if consumed:
+            self._output_consumed = True
+        return graph

@@ -113,16 +113,26 @@ class LSequence:
             # Malformed probabilities are rejected even with
             # ``_validate=False`` (prior-model paths): NaN fails every
             # ``>`` test, so the positivity floor below would silently
-            # swallow it instead of surfacing the bad input.
+            # swallow it instead of surfacing the bad input.  Each value
+            # is coerced exactly once and the coerced float is reused for
+            # the filter and the row, so numeric strings and numpy
+            # scalars behave like the floats they denote.
+            entries: Dict[str, float] = {}
             for loc, p in row.items():
-                value = float(p)
+                try:
+                    value = float(p)
+                except (TypeError, ValueError):
+                    raise ReadingSequenceError(
+                        f"timestep {tau}: probability of {loc!r} is "
+                        f"{p!r}, which does not coerce to a float"
+                    ) from None
                 if not (value >= 0.0 and math.isfinite(value)):
                     raise ReadingSequenceError(
                         f"timestep {tau}: probability of {loc!r} is "
                         f"{value!r}; candidate probabilities must be "
                         "finite and non-negative")
-            entries = {loc: float(p) for loc, p in row.items()
-                       if p > _PROBABILITY_FLOOR}
+                if value > _PROBABILITY_FLOOR:
+                    entries[loc] = value
             if not entries:
                 raise ReadingSequenceError(
                     f"timestep {tau}: no location has positive probability")

@@ -48,6 +48,9 @@ __all__ = [
     "relative_departures",
     "absolute_departures",
     "departure_keep_mask",
+    "state_location",
+    "state_stay",
+    "state_departures",
 ]
 
 #: The TL component: ``((time, location), ...)`` sorted for canonical hashing.
@@ -64,6 +67,27 @@ RelativeDepartures = Tuple[Tuple[int, str], ...]
 #: The hashable node state used as a dict key during graph construction:
 #: ``(location, stay, departures)`` — ``tau`` is implicit in the level.
 NodeState = Tuple[str, Optional[int], Departures]
+
+
+def state_location(state: NodeState) -> str:
+    """The location component of a node state.
+
+    Callers outside this module must read node-state components through
+    these accessors instead of destructuring the tuple — a shape change of
+    the ``NodeState`` alias then breaks here, loudly and in one place,
+    rather than silently misassigning fields at every unpacking site.
+    """
+    return state[0]
+
+
+def state_stay(state: NodeState) -> Optional[int]:
+    """The stay (``delta``) component of a node state (see module docs)."""
+    return state[1]
+
+
+def state_departures(state: NodeState) -> Departures:
+    """The ``TL`` departures component of a node state (see module docs)."""
+    return state[2]
 
 
 class DepartureFilter:

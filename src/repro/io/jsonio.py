@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, Iterable, List, Union
 
 from repro.core.constraints import (
     Constraint,
@@ -27,6 +27,7 @@ from repro.simulation.trajectories import GroundTruthTrajectory
 __all__ = [
     "save_building", "load_building", "building_to_dict", "building_from_dict",
     "save_constraints", "load_constraints",
+    "constraints_to_dicts", "constraints_from_dicts",
     "save_readings", "load_readings",
     "save_trajectory", "load_trajectory",
     "save_readers", "load_readers",
@@ -131,6 +132,22 @@ def _constraint_from_dict(entry: Dict) -> Constraint:
     if kind == "latency":
         return Latency(entry["location"], entry["duration"])
     raise ReproError(f"unknown constraint kind {kind!r}")
+
+
+def constraints_to_dicts(constraints: ConstraintSet) -> List[Dict]:
+    """The constraint set as JSON-ready dicts (``constraints@1`` entries).
+
+    The list form lets other formats embed a constraint set inside their
+    own payload — the stream checkpoints of :mod:`repro.streaming` carry
+    one in their meta section so a resumed session can verify it is
+    running under the very constraints the checkpoint was taken under.
+    """
+    return [_constraint_to_dict(c) for c in constraints]
+
+
+def constraints_from_dicts(entries: Iterable[Dict]) -> ConstraintSet:
+    """The inverse of :func:`constraints_to_dicts`."""
+    return ConstraintSet(_constraint_from_dict(entry) for entry in entries)
 
 
 def save_constraints(constraints: ConstraintSet, path: PathLike) -> None:

@@ -5,7 +5,11 @@ fleet of objects is this package's: :func:`clean_many` /
 :class:`BatchCleaner` fan a collection of reading/l-sequences across
 worker processes with per-constraint-set precomputation
 (:class:`SharedCleaningPlan`), per-object failure isolation and
-deterministic, input-ordered results.  See ``docs/runtime.md``.
+deterministic, input-ordered results.  For *live* fleets,
+:class:`StreamSessionManager` hosts one bounded-memory
+:class:`~repro.streaming.StreamingCleaner` per tag with shared
+per-object checkpointing (the engine behind ``rfid-ctg serve``).
+See ``docs/runtime.md``.
 """
 
 from repro.runtime.batch import (
@@ -15,6 +19,7 @@ from repro.runtime.batch import (
     clean_many,
 )
 from repro.runtime.plan import QueryPlan, SharedCleaningPlan
+from repro.runtime.sessions import StreamSessionManager
 
 __all__ = [
     "BatchCleaner",
@@ -22,5 +27,6 @@ __all__ = [
     "BatchResult",
     "QueryPlan",
     "SharedCleaningPlan",
+    "StreamSessionManager",
     "clean_many",
 ]

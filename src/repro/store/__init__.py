@@ -14,6 +14,11 @@ The storage tier of the pipeline (ingest -> clean -> **store** -> query):
   hits; ``clean_many(..., store=...)`` builds on it to keep graphs off
   the worker pipe entirely.
 
+:mod:`repro.store.format` also owns the sibling ``rfid-ctg/ckpt@1``
+stream-checkpoint codec (:func:`write_stream_checkpoint` /
+:func:`read_stream_checkpoint`) used by
+:class:`repro.streaming.StreamingCleaner` for durable kill/resume.
+
 The engines write the format natively via
 ``CleaningOptions(materialize="store", output=...)`` — see
 ``docs/store.md`` for the format spec, the mmap contract and the cache
@@ -22,18 +27,26 @@ keying rules, and ``benchmarks/bench_store.py`` for the numbers.
 
 from repro.errors import StoreChecksumError, StoreError, StoreFormatError
 from repro.store.format import (
+    CKPT_MAGIC,
+    CKPT_VERSION,
     CTG_MAGIC,
     CTG_VERSION,
+    CheckpointPayload,
     MappedCTGraph,
     load_ctg,
+    read_stream_checkpoint,
     save_ctg,
     write_ctg,
+    write_stream_checkpoint,
 )
 from repro.store.graphstore import GraphStore, content_key
 
 __all__ = [
+    "CKPT_MAGIC",
+    "CKPT_VERSION",
     "CTG_MAGIC",
     "CTG_VERSION",
+    "CheckpointPayload",
     "GraphStore",
     "MappedCTGraph",
     "StoreChecksumError",
@@ -41,6 +54,8 @@ __all__ = [
     "StoreFormatError",
     "content_key",
     "load_ctg",
+    "read_stream_checkpoint",
     "save_ctg",
     "write_ctg",
+    "write_stream_checkpoint",
 ]

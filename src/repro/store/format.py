@@ -45,6 +45,19 @@ out-of-bounds read later.
 This module is the **one authoritative codec** for the format: lint rule
 L010 forbids raw ``struct`` packing/unpacking of ``.ctg`` bytes anywhere
 outside ``repro/store/``.
+
+A second, sibling format lives here for the same reason: the
+``rfid-ctg/ckpt@1`` **stream checkpoint** written by
+:class:`repro.streaming.StreamingCleaner` (see
+:func:`write_stream_checkpoint` / :func:`read_stream_checkpoint`).  It
+shares the house style of the graph codec — little-endian fixed header,
+interned string table, CRC-32 over the payload, atomic tmp →
+``os.replace`` publish — but carries *in-flight* state instead of a
+finished graph: the retained candidate rows and the per-level forward
+frontiers, both with bit-exact float64 probabilities, plus a JSON meta
+section (window, eviction base, options, constraints).  Probabilities
+round-trip as raw doubles, which is what makes a resumed session
+bit-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -66,15 +79,24 @@ from repro.errors import QueryError, StoreChecksumError, StoreFormatError
 __all__ = [
     "CTG_MAGIC",
     "CTG_VERSION",
+    "CKPT_MAGIC",
+    "CKPT_VERSION",
     "HEADER_BYTES",
+    "CheckpointPayload",
+    "CheckpointState",
     "MappedCTGraph",
     "load_ctg",
+    "read_stream_checkpoint",
     "save_ctg",
     "write_ctg",
+    "write_stream_checkpoint",
 ]
 
 CTG_MAGIC = b"RFIDCTG\x00"
 CTG_VERSION = 1
+
+CKPT_MAGIC = b"RFIDCKP\x00"
+CKPT_VERSION = 1
 
 #: magic, version, flags, duration, num_names, num_nodes, num_edges,
 #: section_table_offset, payload_length, checksum, 4 reserved bytes.
@@ -484,6 +506,219 @@ class MappedCTGraph:
 
 def _bounds_error(path, detail: str) -> StoreFormatError:
     return StoreFormatError(f"{path}: {detail}")
+
+
+# ----------------------------------------------------------------------
+# the rfid-ctg/ckpt@1 stream-checkpoint codec
+# ----------------------------------------------------------------------
+#: magic, version, flags, num_names, num_levels, payload_length,
+#: checksum, 4 reserved bytes.
+_CKPT_HEADER = struct.Struct("<8sIIIIQI4x")
+#: One candidate-row entry: (location id, float64 probability).
+_CKPT_ROW_ENTRY = struct.Struct("<Id")
+#: One frontier-state head: (location id, stay or -1, departure count).
+_CKPT_STATE_HEAD = struct.Struct("<IiI")
+#: One TL departure: (absolute timestep, location id).
+_CKPT_DEPARTURE = struct.Struct("<qI")
+_CKPT_MASS = struct.Struct("<d")
+
+#: One serialised frontier state:
+#: ``(location_id, stay_or_None, ((time, location_id), ...), mass)``.
+CheckpointState = Tuple[int, Optional[int], Tuple[Tuple[int, int], ...],
+                        float]
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointPayload:
+    """The decoded content of one ``rfid-ctg/ckpt@1`` file.
+
+    ``rows[i]`` is retained level ``i``'s candidate distribution as
+    ``(location_id, probability)`` pairs in original dict-insertion
+    order; ``frontiers[i]`` is the forward frontier *after* ingesting
+    that level, as :data:`CheckpointState` records, also in insertion
+    order.  Location ids index ``location_names``; ``meta`` is the JSON
+    section verbatim (window, base, options, constraints — see
+    :mod:`repro.streaming`).  All floats are raw little-endian doubles:
+    a decode → re-encode round-trip is bit-identical.
+    """
+
+    meta: Dict
+    location_names: Tuple[str, ...]
+    rows: Tuple[Tuple[Tuple[int, float], ...], ...]
+    frontiers: Tuple[Tuple[CheckpointState, ...], ...]
+
+
+def write_stream_checkpoint(path, *, meta: Dict,
+                            location_names: Sequence[str],
+                            rows: Sequence[Sequence[Tuple[int, float]]],
+                            frontiers: Sequence[Sequence[CheckpointState]],
+                            ) -> int:
+    """Write one streaming-session checkpoint; returns bytes written.
+
+    The publish is atomic and durable: the payload is staged in a
+    dot-prefixed sibling temp file, fsynced, then ``os.replace``d over
+    ``path`` — a reader (including a resuming session) either sees the
+    previous complete checkpoint or this one, never a torn write.
+    Raises :class:`~repro.errors.StoreFormatError` on inconsistent
+    inputs (length mismatches, out-of-range location ids).
+    """
+    if len(rows) != len(frontiers):
+        raise StoreFormatError(
+            f"checkpoint rows/frontiers disagree "
+            f"({len(rows)} vs {len(frontiers)} levels)")
+    num_names = len(location_names)
+
+    def checked(lid: int) -> int:
+        if not 0 <= lid < num_names:
+            raise StoreFormatError(
+                f"checkpoint references location id {lid} outside the "
+                f"string table (size {num_names})")
+        return lid
+
+    chunks: List[bytes] = []
+    meta_blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+    chunks.append(_LENGTH.pack(len(meta_blob)))
+    chunks.append(meta_blob)
+    for name in location_names:
+        encoded = name.encode("utf-8")
+        chunks.append(_LENGTH.pack(len(encoded)))
+        chunks.append(encoded)
+    for row, frontier in zip(rows, frontiers):
+        chunks.append(_LENGTH.pack(len(row)))
+        for lid, probability in row:
+            chunks.append(_CKPT_ROW_ENTRY.pack(checked(lid), probability))
+        chunks.append(_LENGTH.pack(len(frontier)))
+        for lid, stay, departures, mass in frontier:
+            chunks.append(_CKPT_STATE_HEAD.pack(
+                checked(lid), -1 if stay is None else stay,
+                len(departures)))
+            for time, departed_lid in departures:
+                chunks.append(_CKPT_DEPARTURE.pack(time,
+                                                   checked(departed_lid)))
+            chunks.append(_CKPT_MASS.pack(mass))
+    payload = b"".join(chunks)
+    header = _CKPT_HEADER.pack(CKPT_MAGIC, CKPT_VERSION, 0, num_names,
+                               len(rows), len(payload),
+                               zlib.crc32(payload))
+    directory = os.path.dirname(os.fspath(path)) or "."
+    temp = os.path.join(
+        directory, f".{os.path.basename(os.fspath(path))}.{os.getpid()}.tmp")
+    try:
+        with open(temp, "wb") as fh:
+            fh.write(header)
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(temp, path)
+    except BaseException:
+        if os.path.exists(temp):
+            os.unlink(temp)
+        raise
+    return len(header) + len(payload)
+
+
+class _Cursor:
+    """Sequential struct reads over one buffer with bounds checking."""
+
+    def __init__(self, path, buffer: bytes, position: int) -> None:
+        self._path = path
+        self._buffer = buffer
+        self.position = position
+
+    def unpack(self, codec: struct.Struct) -> tuple:
+        end = self.position + codec.size
+        if end > len(self._buffer):
+            raise _bounds_error(self._path, "truncated checkpoint payload")
+        values = codec.unpack_from(self._buffer, self.position)
+        self.position = end
+        return values
+
+    def take(self, count: int) -> bytes:
+        end = self.position + count
+        if end > len(self._buffer):
+            raise _bounds_error(self._path, "truncated checkpoint payload")
+        data = self._buffer[self.position:end]
+        self.position = end
+        return data
+
+
+def read_stream_checkpoint(path) -> CheckpointPayload:
+    """Decode a ``rfid-ctg/ckpt@1`` file written by
+    :func:`write_stream_checkpoint`.
+
+    The payload CRC-32 is always verified (checkpoints are small and a
+    silently bit-rotted one would corrupt a resumed stream), raising
+    :class:`~repro.errors.StoreChecksumError` on a mismatch;
+    structural defects raise :class:`~repro.errors.StoreFormatError`.
+    """
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if len(data) < _CKPT_HEADER.size:
+        raise _bounds_error(path, f"truncated header ({len(data)} of "
+                                  f"{_CKPT_HEADER.size} bytes)")
+    (magic, version, _flags, num_names, num_levels, payload_length,
+     checksum) = _CKPT_HEADER.unpack_from(data, 0)
+    if magic != CKPT_MAGIC:
+        raise _bounds_error(path, "not a stream checkpoint (bad magic)")
+    if version != CKPT_VERSION:
+        raise _bounds_error(
+            path, f"unsupported checkpoint version {version} "
+                  f"(this build reads version {CKPT_VERSION})")
+    if len(data) < _CKPT_HEADER.size + payload_length:
+        raise _bounds_error(
+            path, f"truncated payload (file is {len(data)} bytes, header "
+                  f"promises {_CKPT_HEADER.size + payload_length})")
+    payload = data[_CKPT_HEADER.size:_CKPT_HEADER.size + payload_length]
+    actual = zlib.crc32(payload)
+    if actual != checksum:
+        raise StoreChecksumError(
+            f"{path}: checkpoint CRC-32 mismatch (recorded "
+            f"{checksum:#010x}, computed {actual:#010x}) — the file was "
+            "corrupted after it was written")
+    cursor = _Cursor(path, payload, 0)
+    (meta_length,) = cursor.unpack(_LENGTH)
+    try:
+        meta = json.loads(cursor.take(meta_length).decode("utf-8"))
+    except ValueError as error:
+        raise _bounds_error(path, f"malformed meta section ({error})")
+    names: List[str] = []
+    for _ in range(num_names):
+        (length,) = cursor.unpack(_LENGTH)
+        names.append(cursor.take(length).decode("utf-8"))
+    rows: List[Tuple[Tuple[int, float], ...]] = []
+    frontiers: List[Tuple[CheckpointState, ...]] = []
+    for _ in range(num_levels):
+        (row_count,) = cursor.unpack(_LENGTH)
+        rows.append(tuple(cursor.unpack(_CKPT_ROW_ENTRY)
+                          for _ in range(row_count)))
+        (state_count,) = cursor.unpack(_LENGTH)
+        frontier: List[CheckpointState] = []
+        for _ in range(state_count):
+            lid, stay, num_departures = cursor.unpack(_CKPT_STATE_HEAD)
+            departures = tuple(cursor.unpack(_CKPT_DEPARTURE)
+                               for _ in range(num_departures))
+            (mass,) = cursor.unpack(_CKPT_MASS)
+            frontier.append((lid, None if stay == -1 else stay,
+                             departures, mass))
+        frontiers.append(tuple(frontier))
+    num = len(names)
+    for level in rows:
+        for lid, _probability in level:
+            if not 0 <= lid < num:
+                raise _bounds_error(
+                    path, f"row references unknown location id {lid}")
+    for level in frontiers:
+        for lid, _stay, departures, _mass in level:
+            if not 0 <= lid < num:
+                raise _bounds_error(
+                    path, f"frontier references unknown location id {lid}")
+            for _time, departed_lid in departures:
+                if not 0 <= departed_lid < num:
+                    raise _bounds_error(
+                        path, f"departure references unknown location id "
+                              f"{departed_lid}")
+    return CheckpointPayload(meta=meta, location_names=tuple(names),
+                             rows=tuple(rows), frontiers=tuple(frontiers))
 
 
 def load_ctg(path, *, mmap: bool = True, verify: bool = False

@@ -1,0 +1,20 @@
+"""Bounded-memory streaming cleaning with durable checkpoint/resume.
+
+:class:`repro.core.incremental.IncrementalCleaner` keeps every ingested
+row, so a long-lived session grows without bound.  This package's
+:class:`StreamingCleaner` ingests indefinitely in O(window) memory: once
+more than ``window`` timesteps are retained, the oldest level is
+*evicted* — its forward mass is already collapsed onto the frontier of
+the next level (the filtered-forward recursion is a sufficient
+statistic, Section 4 / Definition 3), so dropping the level loses
+nothing the live estimate or a window-limited ``finalize()`` needs.
+Filtered estimates are bit-identical to the unevicted cleaner, and
+:meth:`StreamingCleaner.checkpoint` / :meth:`StreamingCleaner.resume`
+round-trip the whole session state through the ``rfid-ctg/ckpt@1``
+binary format so a killed process resumes bit-exactly without
+reingesting.  See ``docs/streaming.md``.
+"""
+
+from repro.streaming.cleaner import StreamingCleaner
+
+__all__ = ["StreamingCleaner"]

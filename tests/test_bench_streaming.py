@@ -1,0 +1,74 @@
+"""Smoke test for benchmarks/bench_streaming.py: the bench must run on
+a tiny stream, pass its own memory-bound and bit-equality gates, and
+emit a well-formed BENCH_streaming.json (the gates are correctness
+claims, so unlike the perf benches they are asserted even at smoke
+size)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH = REPO_ROOT / "benchmarks" / "bench_streaming.py"
+
+
+def _bench_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    return env
+
+
+def test_smoke_emits_well_formed_json(tmp_path):
+    out = tmp_path / "BENCH_streaming.json"
+    run = subprocess.run(
+        [sys.executable, str(BENCH), "--duration", "300",
+         "--window", "16", "--smoke", "--out", str(out)],
+        capture_output=True, text=True, env=_bench_env(), timeout=300)
+    assert run.returncode == 0, run.stderr
+
+    payload = json.loads(out.read_text())
+    assert payload["benchmark"] == "bench_streaming"
+    assert payload["smoke"] is True
+    workload = payload["workload"]
+    assert workload["duration"] == 300
+    assert workload["window"] == 16
+    memory = payload["memory"]
+    assert 0 < memory["retained_levels_max"] <= 16
+    assert 0 < memory["frontier_states_max"] <= memory["frontier_states_gate"]
+    assert memory["checkpoint_bytes"] > 0
+    parity = payload["parity"]
+    assert parity["filtered_bit_equal"] is True
+    assert parity["resume_bit_equal"] is True
+    assert parity["finalize_bit_equal"] is True
+    assert payload["throughput"]["readings_per_second"] > 0.0
+
+    # The bench's own --check mode agrees.
+    check = subprocess.run(
+        [sys.executable, str(BENCH), "--check", str(out)],
+        capture_output=True, text=True, env=_bench_env(), timeout=60)
+    assert check.returncode == 0, check.stderr
+
+
+def test_check_rejects_divergence(tmp_path):
+    bad = tmp_path / "bad.json"
+    payload = {
+        "benchmark": "bench_streaming", "schema_version": 1,
+        "smoke": True,
+        "workload": {"duration": 300, "window": 16},
+        "memory": {"retained_levels_max": 17, "frontier_states_max": 5,
+                   "frontier_states_gate": 240, "checkpoint_bytes": 1},
+        "parity": {"filtered_bit_equal": True, "resume_bit_equal": False,
+                   "finalize_bit_equal": True},
+        "throughput": {"ingest_seconds": 0.1,
+                       "readings_per_second": 3000.0},
+    }
+    bad.write_text(json.dumps(payload))
+    check = subprocess.run(
+        [sys.executable, str(BENCH), "--check", str(bad)],
+        capture_output=True, text=True, env=_bench_env(), timeout=60)
+    assert check.returncode == 1
+    assert "retained levels" in check.stderr
+    assert "resume_bit_equal" in check.stderr

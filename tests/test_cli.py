@@ -182,3 +182,90 @@ class TestCommands:
         assert len(constraints) > 0
         matrix = load_matrix(out_dir / "matrix.npz", building)
         assert matrix.num_cells == matrix.grid.num_cells
+
+
+class TestServe:
+    """The streaming service: feed, checkpoint, kill, resume, compare."""
+
+    @pytest.fixture
+    def setup(self, tmp_path):
+        import json
+        import random
+
+        from repro.core.constraints import (
+            ConstraintSet,
+            Latency,
+            TravelingTime,
+            Unreachable,
+        )
+        from repro.io.jsonio import save_constraints
+
+        constraints = ConstraintSet([Unreachable("A", "D"),
+                                     TravelingTime("B", "D", 3),
+                                     Latency("C", 2)])
+        constraints_path = tmp_path / "constraints.json"
+        save_constraints(constraints, constraints_path)
+        rng = random.Random(3)
+        stream = tmp_path / "stream.jsonl"
+        with stream.open("w") as handle:
+            for _ in range(40):
+                for obj in ("tag-1", "tag-2"):
+                    weights = [rng.random() + 0.05 for _ in "ABCD"]
+                    total = sum(weights)
+                    row = {l: w / total for l, w in zip("ABCD", weights)}
+                    handle.write(json.dumps({"object": obj,
+                                             "candidates": row}) + "\n")
+        return constraints_path, stream
+
+    def _finals(self, capsys):
+        out = capsys.readouterr().out
+        return sorted(line for line in out.splitlines()
+                      if '"final": true' in line)
+
+    def test_kill_resume_equals_uninterrupted(self, setup, tmp_path,
+                                              capsys):
+        constraints_path, stream = setup
+        ckpt = tmp_path / "ckpt"
+        base = ["serve", "--constraints-file", str(constraints_path),
+                "--input", str(stream), "--window", "16"]
+        # Uninterrupted reference run (no checkpointing at all).
+        assert main(base) == 0
+        reference = self._finals(capsys)
+        assert len(reference) == 2
+        # Killed run: periodic checkpoints, stop mid-stream, no exit
+        # checkpoint (the abrupt-kill case).
+        assert main(base + ["--checkpoint-dir", str(ckpt),
+                            "--checkpoint-every", "7",
+                            "--max-readings", "50",
+                            "--no-final-checkpoint"]) == 0
+        capsys.readouterr()
+        assert list(ckpt.glob("*.ckpt"))
+        # Resumed run over the same input: already-checkpointed readings
+        # are skipped, the rest reingested; the final estimates must be
+        # byte-identical to the uninterrupted run's.
+        assert main(base + ["--checkpoint-dir", str(ckpt),
+                            "--resume"]) == 0
+        assert self._finals(capsys) == reference
+
+    def test_live_estimates_and_drops(self, setup, tmp_path, capsys):
+        import json
+
+        constraints_path, stream = setup
+        # An inconsistent reading (A -> D is unreachable; D-only after an
+        # A-only step) is dropped, not fatal.
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            json.dumps({"object": "t", "candidates": {"A": 1.0}}) + "\n" +
+            "not json\n" +
+            json.dumps({"object": "t", "candidates": {"D": 1.0}}) + "\n" +
+            json.dumps({"object": "t", "candidates": {"A": 1.0}}) + "\n")
+        assert main(["serve", "--constraints-file", str(constraints_path),
+                     "--input", str(bad), "--estimate-every", "1"]) == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.splitlines()]
+        dropped = [line for line in lines if "dropped" in line]
+        assert len(dropped) == 1
+        assert "InconsistentReadingsError" in dropped[0]["dropped"]
+        finals = [line for line in lines if line.get("final")]
+        assert finals[0]["duration"] == 2    # the bad reading left no trace
+        assert "malformed" in captured.err

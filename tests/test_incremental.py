@@ -5,7 +5,7 @@ import math
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.algorithm import build_ct_graph
+from repro.core.algorithm import CleaningOptions, build_ct_graph
 from repro.core.constraints import (
     ConstraintSet,
     Latency,
@@ -101,6 +101,25 @@ class TestExtend:
         cleaner.extend({"A": 0.5, "B": 0.5})
         assert cleaner.duration == 2
 
+    def test_numeric_string_probability_is_coerced(self, constraints):
+        # Regression: the old extend() validated float(p) but filtered on
+        # the raw value, so a numeric string passed validation and then
+        # crashed with a bare TypeError in the `>` comparison.
+        cleaner = IncrementalCleaner(constraints)
+        cleaner.extend({"A": "0.5", "B": 0.5})
+        assert cleaner.filtered_distribution() == \
+            {"A": pytest.approx(0.5), "B": pytest.approx(0.5)}
+
+    def test_non_numeric_probability_is_a_typed_error(self, constraints):
+        cleaner = IncrementalCleaner(constraints)
+        with pytest.raises(ReadingSequenceError,
+                           match="does not coerce to a float"):
+            cleaner.extend({"A": "half"})
+        with pytest.raises(ReadingSequenceError,
+                           match="does not coerce to a float"):
+            cleaner.extend({"A": None})
+        assert cleaner.duration == 0
+
     def test_extend_reading_needs_prior(self, constraints):
         cleaner = IncrementalCleaner(constraints)
         with pytest.raises(ReadingSequenceError):
@@ -186,6 +205,103 @@ class TestFinalize:
         second = cleaner.finalize()
         assert second.duration == 2
         assert first.duration == 1    # earlier result untouched
+
+
+class TestFinalizeMaterialize:
+    """The corrected finalize() contract: all three materialize modes."""
+
+    rows = ({"A": 0.5, "B": 0.5}, {"B": 0.6, "C": 0.4}, {"B": 1.0})
+
+    def _fed(self, constraints, options):
+        cleaner = IncrementalCleaner(constraints, options)
+        for row in self.rows:
+            cleaner.extend(row)
+        return cleaner
+
+    def test_nodes_mode_returns_ctgraph(self, constraints):
+        from repro.core.ctgraph import CTGraph
+
+        cleaner = self._fed(constraints, CleaningOptions(materialize="nodes"))
+        assert isinstance(cleaner.finalize(), CTGraph)
+
+    def test_flat_mode_returns_flatgraph(self, constraints):
+        from repro.core.flatgraph import FlatCTGraph
+        from repro.queries.session import QuerySession
+
+        cleaner = self._fed(constraints, CleaningOptions(materialize="flat"))
+        graph = cleaner.finalize()
+        assert isinstance(graph, FlatCTGraph)
+        batch = build_ct_graph(LSequence(list(self.rows)), constraints)
+        assert QuerySession(graph).location_marginal(2) == \
+            pytest.approx(batch.location_marginal(2))
+
+    def test_store_mode_returns_mapped_view(self, constraints, tmp_path):
+        from repro.store.format import MappedCTGraph
+
+        out = tmp_path / "g.ctg"
+        cleaner = self._fed(constraints, CleaningOptions(output=str(out)))
+        graph = cleaner.finalize()
+        assert isinstance(graph, MappedCTGraph)
+        assert out.exists()
+        graph.close()
+
+    def test_store_mode_refuses_silent_rewrite(self, constraints, tmp_path):
+        out = tmp_path / "g.ctg"
+        cleaner = self._fed(constraints, CleaningOptions(output=str(out)))
+        cleaner.finalize().close()
+        stamp = out.read_bytes()
+        with pytest.raises(ReadingSequenceError, match="already wrote"):
+            cleaner.finalize()
+        assert out.read_bytes() == stamp    # the first result is intact
+
+    def test_explicit_output_gives_fresh_file(self, constraints, tmp_path):
+        from repro.store.format import MappedCTGraph
+
+        out = tmp_path / "g.ctg"
+        cleaner = self._fed(constraints, CleaningOptions(output=str(out)))
+        cleaner.finalize().close()
+        second = tmp_path / "g2.ctg"
+        graph = cleaner.finalize(output=str(second))
+        assert isinstance(graph, MappedCTGraph)
+        assert second.exists()
+        graph.close()
+        # The explicit path never consumes the configured one again.
+        third = tmp_path / "g3.ctg"
+        cleaner.finalize(output=str(third)).close()
+        assert third.exists()
+
+    def test_explicit_output_works_with_auto_options(self, constraints,
+                                                     tmp_path):
+        from repro.store.format import MappedCTGraph
+
+        cleaner = self._fed(constraints, CleaningOptions())
+        out = tmp_path / "g.ctg"
+        graph = cleaner.finalize(output=str(out))
+        assert isinstance(graph, MappedCTGraph)
+        graph.close()
+        # ...and the cleaner still finalizes in-memory afterwards.
+        from repro.core.ctgraph import CTGraph
+        assert isinstance(cleaner.finalize(), CTGraph)
+
+    def test_explicit_output_rejects_non_store_materialize(self, constraints):
+        cleaner = self._fed(constraints, CleaningOptions(materialize="flat"))
+        with pytest.raises(ReadingSequenceError, match="materialize"):
+            cleaner.finalize(output="anywhere.ctg")
+
+
+class TestLSequenceCopy:
+    def test_lsequence_is_an_independent_copy(self, constraints):
+        cleaner = IncrementalCleaner(constraints)
+        cleaner.extend({"A": 0.5, "B": 0.5})
+        cleaner.extend({"B": 1.0})
+        before = cleaner.filtered_distribution()
+        copy = cleaner.lsequence()
+        copy.candidates(0)["A"] = 123.0    # vandalise the copy
+        copy.candidates(1).clear()
+        assert cleaner.filtered_distribution() == before
+        fresh = cleaner.lsequence()
+        assert fresh.candidates(0)["A"] == pytest.approx(0.5)
+        assert fresh.candidates(1) == {"B": pytest.approx(1.0)}
 
 
 # ----------------------------------------------------------------------

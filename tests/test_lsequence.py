@@ -125,3 +125,19 @@ class TestLSequence:
         ls = LSequence.from_readings(readings, FakePrior())
         assert ls.support(0) == ("A",)
         assert set(ls.support(1)) == {"A", "B"}
+
+
+class TestProbabilityCoercion:
+    def test_numeric_string_probability_is_coerced(self):
+        # The coerced float is reused for the floor filter and the row,
+        # so a numeric string behaves like the float it denotes.
+        ls = LSequence([{"A": "0.5", "B": 0.5}])
+        assert ls.probability(0, "A") == pytest.approx(0.5)
+
+    def test_non_numeric_probability_is_a_typed_error(self):
+        with pytest.raises(ReadingSequenceError,
+                           match="does not coerce to a float"):
+            LSequence([{"A": "half"}])
+        with pytest.raises(ReadingSequenceError,
+                           match="does not coerce to a float"):
+            LSequence([{"A": None}], _validate=False)

@@ -152,3 +152,30 @@ class TestDeterminism:
                             TravelingTime("B", "X", 9)])
         state = succ(6, ("B", None, ((5, "A"),)), "C", cs)
         assert state[2] == ((5, "A"), (6, "B"))
+
+
+class TestStateAccessors:
+    """The named accessors are the supported way to read a NodeState.
+
+    Code outside repro.core.nodes must not destructure the bare tuple —
+    this pin makes a NodeState shape change fail here, in one obvious
+    place, instead of silently misassigning fields at unpacking sites.
+    """
+
+    def test_accessors_cover_the_whole_state(self):
+        from repro.core.nodes import (
+            state_departures,
+            state_location,
+            state_stay,
+        )
+
+        cs = ConstraintSet([Latency("A", 3), TravelingTime("A", "C", 3)])
+        state = succ(4, ("A", None, ()), "B", cs)
+        assert state is not None
+        assert state_location(state) == "B"
+        assert state_stay(state) is None
+        assert state_departures(state) == ((4, "A"),)
+        # The three accessors reconstruct the state exactly — if a field
+        # is ever added to NodeState, this equality breaks loudly.
+        assert (state_location(state), state_stay(state),
+                state_departures(state)) == state

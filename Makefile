@@ -82,10 +82,13 @@ bench-store:
 	$(PYTHON) benchmarks/bench_store.py --check BENCH_store.json
 
 # Bounded-memory streaming: 100k-step stream with window=64, eviction
-# and resume bit-equality gates plus the memory bounds,
-# BENCH_streaming.json with the throughput.  Stdlib-only.
+# and resume bit-equality gates plus the memory bounds, the vectorized
+# frontier-kernel parity + speedup (>= 4x gate, needs the numpy extra;
+# records available:false and skips the speedup gate without it) and
+# the 2-shard merged-output identity.  BENCH_streaming.json carries the
+# kernel and shard blocks.
 bench-streaming:
-	$(PYTHON) benchmarks/bench_streaming.py --out BENCH_streaming.json
+	$(PYTHON) benchmarks/bench_streaming.py --backend numpy --out BENCH_streaming.json
 	$(PYTHON) benchmarks/bench_streaming.py --check BENCH_streaming.json
 
 report:

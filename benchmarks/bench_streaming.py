@@ -1,8 +1,7 @@
-"""Bounded-memory streaming: eviction exactness, resume, throughput.
+"""Bounded-memory streaming: eviction exactness, resume, kernel, shards.
 
-Three claims about :class:`repro.streaming.StreamingCleaner` are
-measured and gated on a long synthetic reading stream (full run:
-100k steps, ``window=64``):
+Schema v2 measures and gates five claims about the streaming stack on a
+long synthetic reading stream (full run: 100k steps, ``window=64``):
 
 * **bounded memory** — the retained level count never exceeds the
   window and the per-level frontier never exceeds the workload's
@@ -15,23 +14,37 @@ measured and gated on a long synthetic reading stream (full run:
 * **resume exactness** — checkpointing mid-stream, resuming from the
   file and feeding the remainder yields bit-equal filtered estimates
   and a bit-identical ``finalize()`` graph versus the uninterrupted
-  run.
+  run;
+* **kernel parity + speedup** — the vectorized frontier-advance kernel
+  (``backend="numpy"``, :class:`~repro.core.kernels.FrontierKernel`)
+  matches the python oracle (exact discrete structure, tolerance-gated
+  floats, bit-exact numpy-vs-numpy checkpoint/resume) and, on
+  non-smoke runs, ingests at least ``KERNEL_SPEEDUP_GATE``x faster;
+* **shard-merge identity** — an in-process
+  :class:`~repro.runtime.shards.StreamShardPool` over 2 worker
+  processes emits byte-identical merged output to a single
+  :class:`~repro.runtime.shards.ServeEngine`.
 
 Emits a machine-readable ``BENCH_streaming.json``.  Usage::
 
     python benchmarks/bench_streaming.py                  # full run
     python benchmarks/bench_streaming.py --smoke          # CI-sized
+    python benchmarks/bench_streaming.py --backend python # skip kernel
     python benchmarks/bench_streaming.py --check BENCH_streaming.json
 
 ``--check`` validates an existing result file and exits non-zero on
-problems.  The parity flags and the memory bounds are gated in every
-payload (they are correctness claims, not performance numbers); the
-throughput is reported, not gated.
+problems.  The parity flags, the memory bounds and the shard identity
+are gated in every payload (they are correctness claims, not
+performance numbers); throughput is reported, and the kernel speedup is
+gated only on full (non-smoke) runs where the numpy backend actually
+ran.  Without numpy the kernel block records ``available: false`` and a
+null speedup — the pure-python leg still passes every gate.
 """
 
 from __future__ import annotations
 
 import argparse
+import io
 import json
 import os
 import random
@@ -48,9 +61,13 @@ from repro.core.constraints import (
     Unreachable,
 )
 from repro.core.incremental import IncrementalCleaner
+from repro.core.kernels import numpy_available
+from repro.io.jsonio import save_constraints
+from repro.runtime.sessions import StreamSessionManager
+from repro.runtime.shards import ServeEngine, StreamShardPool
 from repro.streaming import StreamingCleaner
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 DURATION = 100_000
 SMOKE_DURATION = 2_000
@@ -64,6 +81,18 @@ LOCATIONS = ("A", "B", "C", "D", "E", "F", "G", "H")
 #: stream for the bit-equality check (it holds every level, so the
 #: shadow is capped; the streaming side continues to the full horizon).
 PARITY_PREFIX = 4_096
+
+#: Minimum numpy-over-python ingest speedup on full runs.  The measured
+#: headline is ~21x on the reference container; 4x leaves headroom for
+#: slow CI hardware while still catching a de-vectorized regression.
+KERNEL_SPEEDUP_GATE = 4.0
+
+#: Readings fed through the shard-identity comparison (per leg).  The
+#: guarantee is size-independent; this is enough to cross estimate
+#: boundaries on every shard.
+SHARD_READINGS = 2_000
+SHARDS = 2
+SHARD_OBJECTS = 4
 
 SEED = 20140328  # EDBT 2014 in Athens
 
@@ -93,7 +122,148 @@ def synthetic_row(rng: random.Random) -> Dict[str, float]:
             for name, weight in zip(LOCATIONS, weights)}
 
 
-def run(duration: int, window: int, smoke: bool) -> Dict[str, object]:
+def run_kernel_leg(rows: Sequence[Dict[str, float]], window: int,
+                   python_seconds: float, backend: str) -> Dict[str, object]:
+    """Time the numpy kernel over the same stream and gate its parity.
+
+    Three sub-claims: (1) lockstep parity with the python oracle over
+    the parity prefix — identical key order and floats within
+    ``rel 1e-9 / abs 1e-12`` (``np.bincount`` reassociates the
+    per-successor sums, so bit-equality is not promised cross-backend);
+    (2) numpy-vs-numpy checkpoint/resume *is* bit-exact; (3) the
+    full-stream ingest speedup over the already-timed python pass.
+    """
+    import math
+
+    available = numpy_available()
+    block: Dict[str, object] = {"backend": backend, "available": available}
+    if backend != "numpy" or not available:
+        block.update({"backend_resolved": "python", "ingest_seconds": None,
+                      "readings_per_second": None, "kernel_speedup": None,
+                      "parity": None})
+        return block
+
+    options = CleaningOptions(materialize="flat", backend="numpy")
+    kernel = StreamingCleaner(stream_constraints(), window=window,
+                              options=options)
+    started = time.perf_counter()
+    for row in rows:
+        kernel.extend(row)
+    elapsed = time.perf_counter() - started
+
+    # -- lockstep parity over the prefix (untimed) ---------------------
+    prefix = min(len(rows), PARITY_PREFIX)
+    oracle = StreamingCleaner(stream_constraints(), window=window,
+                              options=CleaningOptions(materialize="flat"))
+    shadow = StreamingCleaner(stream_constraints(), window=window,
+                              options=options)
+    filtered_close = True
+    for row in rows[:prefix]:
+        oracle.extend(row)
+        shadow.extend(row)
+        expected = oracle.filtered_distribution()
+        got = shadow.filtered_distribution()
+        if list(expected) != list(got):
+            filtered_close = False
+            break
+        if not all(math.isclose(got[loc], p, rel_tol=1e-9, abs_tol=1e-12)
+                   for loc, p in expected.items()):
+            filtered_close = False
+            break
+
+    # -- numpy-vs-numpy checkpoint/resume is bit-exact -----------------
+    resume_at = max(1, len(rows) // 2)
+    killed = StreamingCleaner(stream_constraints(), window=window,
+                              options=options)
+    for row in rows[:resume_at]:
+        killed.extend(row)
+    fd, path = tempfile.mkstemp(prefix="bench_kernel_", suffix=".ckpt")
+    os.close(fd)
+    try:
+        killed.checkpoint(path)
+        resumed = StreamingCleaner.resume(path)
+        for row in rows[resume_at:]:
+            resumed.extend(row)
+        resume_bit_equal = (resumed.filtered_distribution()
+                            == kernel.filtered_distribution()
+                            and resumed.frontier_size()
+                            == kernel.frontier_size())
+    finally:
+        os.unlink(path)
+
+    block.update({
+        "backend_resolved": "numpy",
+        "ingest_seconds": elapsed,
+        "readings_per_second": len(rows) / elapsed,
+        "kernel_speedup": python_seconds / elapsed,
+        "parity": {
+            "filtered_close": filtered_close,
+            "parity_prefix": prefix,
+            "resume_bit_equal": resume_bit_equal,
+        },
+    })
+    return block
+
+
+def shard_stream_lines(readings: int) -> List[str]:
+    """Object-tagged serve lines cycling a small fleet, seeded."""
+    rng = random.Random(SEED + 1)
+    lines = []
+    for index in range(readings):
+        row = synthetic_row(rng)
+        lines.append(json.dumps({
+            "object": f"tag-{index % SHARD_OBJECTS}",
+            "candidates": row,
+        }) + "\n")
+    return lines
+
+
+def run_shard_leg(window: int, backend: str,
+                  readings: int) -> Dict[str, object]:
+    """Merged shard-pool output vs a single engine, byte for byte."""
+    lines = shard_stream_lines(readings)
+    constraints = stream_constraints()
+
+    manager = StreamSessionManager(
+        constraints, window=window,
+        options=CleaningOptions(backend=backend))
+    engine = ServeEngine(manager, estimate_every=7)
+    single = io.StringIO()
+    started = time.perf_counter()
+    for line in lines:
+        payload = json.loads(line)
+        _, out_lines, _ = engine.process(payload["object"],
+                                         payload["candidates"])
+        for rendered in out_lines:
+            single.write(rendered + "\n")
+    for _object_id, rendered in engine.final_entries():
+        single.write(rendered + "\n")
+    single_seconds = time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory(prefix="bench_shards_") as tmp:
+        constraints_file = os.path.join(tmp, "constraints.json")
+        save_constraints(constraints, constraints_file)
+        merged, err = io.StringIO(), io.StringIO()
+        started = time.perf_counter()
+        with StreamShardPool(SHARDS, constraints_file=constraints_file,
+                             window=window, estimate_every=7,
+                             backend=backend) as pool:
+            pool.serve(lines, merged, err)
+            pool.finish(merged, err)
+        pool_seconds = time.perf_counter() - started
+
+    return {
+        "shards": SHARDS,
+        "objects": SHARD_OBJECTS,
+        "readings": readings,
+        "merged_identical": merged.getvalue() == single.getvalue(),
+        "single_seconds": single_seconds,
+        "pool_seconds": pool_seconds,
+    }
+
+
+def run(duration: int, window: int, smoke: bool,
+        backend: str) -> Dict[str, object]:
     """Execute the streaming workload; returns the JSON payload."""
     constraints = stream_constraints()
     options = CleaningOptions(materialize="flat")
@@ -150,6 +320,9 @@ def run(duration: int, window: int, smoke: bool) -> Dict[str, object]:
     ckpt_bytes = streaming.checkpoint(ckpt_path + ".size")
     os.unlink(ckpt_path + ".size")
 
+    kernel = run_kernel_leg(rows, window, elapsed, backend)
+    shard = run_shard_leg(window, backend, min(duration, SHARD_READINGS))
+
     # The frontier is one state per (location, live stay counter, live
     # departure log); with L locations, one Latency(limit) and one
     # TravelingTime(ttime) the per-level state count is bounded by
@@ -185,6 +358,8 @@ def run(duration: int, window: int, smoke: bool) -> Dict[str, object]:
             "ingest_seconds": elapsed,
             "readings_per_second": duration / elapsed,
         },
+        "kernel": kernel,
+        "shard": shard,
     }
 
 
@@ -201,6 +376,7 @@ def validate_payload(payload: Dict[str, object]) -> List[str]:
     expect(payload.get("schema_version") == SCHEMA_VERSION,
            f"schema_version must be {SCHEMA_VERSION}")
     expect(isinstance(payload.get("smoke"), bool), "smoke must be a bool")
+    smoke = payload.get("smoke") is True
 
     workload = payload.get("workload")
     if not (isinstance(workload, dict)
@@ -249,6 +425,47 @@ def validate_payload(payload: Dict[str, object]) -> List[str]:
            and isinstance(throughput.get("readings_per_second"), float)
            and throughput["readings_per_second"] > 0.0,
            "throughput must record positive ingest timings")
+
+    kernel = payload.get("kernel")
+    if not (isinstance(kernel, dict)
+            and isinstance(kernel.get("available"), bool)
+            and isinstance(kernel.get("backend"), str)):
+        problems.append("kernel block missing or malformed")
+    elif kernel.get("backend_resolved") == "numpy":
+        kernel_parity = kernel.get("parity")
+        if not isinstance(kernel_parity, dict):
+            problems.append("kernel.parity block missing")
+        else:
+            expect(kernel_parity.get("filtered_close") is True,
+                   "kernel.parity.filtered_close must be true — the "
+                   "vectorized frontier kernel diverged from the oracle")
+            expect(kernel_parity.get("resume_bit_equal") is True,
+                   "kernel.parity.resume_bit_equal must be true — a "
+                   "numpy checkpoint/resume round-trip changed bits")
+        speedup = kernel.get("kernel_speedup")
+        expect(isinstance(speedup, float) and speedup > 0.0,
+               "kernel_speedup must be a positive float on the numpy leg")
+        if not smoke and isinstance(speedup, float):
+            expect(speedup >= KERNEL_SPEEDUP_GATE,
+                   f"kernel_speedup {speedup:.2f}x is below the "
+                   f"{KERNEL_SPEEDUP_GATE:.0f}x gate — the vectorized "
+                   "frontier advance regressed")
+    else:
+        expect(kernel.get("kernel_speedup") is None,
+               "kernel_speedup must be null when the numpy kernel "
+               "did not run")
+
+    shard = payload.get("shard")
+    if not (isinstance(shard, dict)
+            and isinstance(shard.get("shards"), int)
+            and shard["shards"] >= 2
+            and isinstance(shard.get("readings"), int)
+            and shard["readings"] > 0):
+        problems.append("shard block missing or malformed")
+    else:
+        expect(shard.get("merged_identical") is True,
+               "shard.merged_identical must be true — the sharded "
+               "fleet's merged output diverged from a single engine")
     return problems
 
 
@@ -256,10 +473,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--duration", type=int, default=DURATION)
     parser.add_argument("--window", type=int, default=WINDOW)
+    parser.add_argument("--backend", choices=("numpy", "python"),
+                        default="numpy",
+                        help="kernel leg: 'numpy' times the vectorized "
+                             "frontier kernel (falling back gracefully "
+                             "when numpy is absent), 'python' skips the "
+                             "kernel timing entirely")
     parser.add_argument("--out", default="BENCH_streaming.json")
     parser.add_argument("--smoke", action="store_true",
-                        help="CI-sized stream (2k steps; same gates — "
-                             "the bounds and parity are size-independent)")
+                        help="CI-sized stream (2k steps; same gates minus "
+                             "the kernel speedup — the bounds and parity "
+                             "are size-independent, the speedup is not)")
     parser.add_argument("--check", metavar="FILE",
                         help="validate an existing result file and exit")
     args = parser.parse_args(argv)
@@ -272,17 +496,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"SCHEMA: {problem}", file=sys.stderr)
         if not problems:
             memory = payload["memory"]
+            speedup = payload["kernel"].get("kernel_speedup")
+            kernel_note = (f"kernel {speedup:.1f}x"
+                           if isinstance(speedup, float)
+                           else "kernel skipped")
             print(f"{args.check}: well-formed "
                   f"({payload['workload']['duration']} steps, retained "
                   f"<= {memory['retained_levels_max']} levels, frontier "
                   f"<= {memory['frontier_states_max']} states, "
-                  "parity ok)")
+                  f"parity ok, {kernel_note}, shards merged ok)")
         return 1 if problems else 0
 
     if args.smoke:
         args.duration = min(args.duration, SMOKE_DURATION)
 
-    payload = run(args.duration, args.window, args.smoke)
+    payload = run(args.duration, args.window, args.smoke, args.backend)
     problems = validate_payload(payload)
     if problems:
         for problem in problems:
@@ -293,6 +521,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         handle.write("\n")
     workload, memory = payload["workload"], payload["memory"]
     throughput = payload["throughput"]
+    kernel, shard = payload["kernel"], payload["shard"]
     print(f"workload: {workload['duration']} steps x "
           f"{workload['locations']} locations, window "
           f"{workload['window']}")
@@ -304,8 +533,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"parity: filtered bit-equal over {workload['parity_prefix']} "
           f"steps, resume + finalize bit-equal from step "
           f"{workload['resume_at']}")
-    print(f"throughput: {throughput['readings_per_second']:,.0f} "
-          f"readings/s ({throughput['ingest_seconds']:.1f} s ingest)")
+    print(f"throughput (python): "
+          f"{throughput['readings_per_second']:,.0f} readings/s "
+          f"({throughput['ingest_seconds']:.1f} s ingest)")
+    if kernel["backend_resolved"] == "numpy":
+        print(f"kernel (numpy): "
+              f"{kernel['readings_per_second']:,.0f} readings/s, "
+              f"{kernel['kernel_speedup']:.1f}x over python, parity ok")
+    else:
+        print("kernel: numpy unavailable or skipped — python fallback "
+              "exercised")
+    print(f"shards: {shard['shards']} workers x {shard['objects']} "
+          f"objects over {shard['readings']} readings, merged output "
+          f"{'identical' if shard['merged_identical'] else 'DIVERGED'}")
     print(f"wrote {args.out}")
     return 0
 

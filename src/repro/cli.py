@@ -297,6 +297,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--estimate-every", type=int, default=0, metavar="N",
                        help="emit a live estimate line every N readings "
                             "per object (0: only the final lines)")
+    serve.add_argument("--stats-every", type=int, default=0, metavar="N",
+                       help="emit a throughput/frontier/checkpoint-lag "
+                            "stats line on stderr every N ingested "
+                            "readings per object, plus per-shard "
+                            "summaries and a stats block in the final "
+                            "lines (0: off)")
+    serve.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="partition objects by id hash across N "
+                            "worker processes, each with its own "
+                            "sessions and shard-NN checkpoint "
+                            "subdirectory; stdout is merged in input "
+                            "order, byte-identical to --shards 1 "
+                            "(default: 1, single process)")
+    serve.add_argument("--backend", choices=["auto", "python", "numpy"],
+                       default="python",
+                       help="frontier-advance backend: 'numpy' engages "
+                            "the vectorized kernel when available, "
+                            "'auto' engages it for wide frontiers "
+                            "(default: python, the parity oracle)")
     serve.add_argument("--follow", action="store_true",
                        help="tail the --input file for appended lines "
                             "instead of stopping at EOF")
@@ -750,30 +769,52 @@ def _serve_lines(args: argparse.Namespace):
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    from repro.errors import StoreFormatError
+
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.checkpoint_dir:
+        from repro.store.format import ensure_shard_manifest
+
+        try:
+            ensure_shard_manifest(args.checkpoint_dir, args.shards)
+        except StoreFormatError as error:
+            raise SystemExit(f"serve: {error}")
+    if args.shards == 1:
+        return _serve_single(args)
+    return _serve_sharded(args)
+
+
+def _serve_single(args: argparse.Namespace) -> int:
     import json
 
-    from repro.errors import InconsistentReadingsError, ReadingSequenceError
+    from repro.core.algorithm import CleaningOptions
     from repro.io.jsonio import load_constraints
     from repro.runtime.sessions import StreamSessionManager
-
-    def emit(payload: dict) -> None:
-        print(json.dumps(payload, sort_keys=True), flush=True)
+    from repro.runtime.shards import ServeEngine
 
     constraints = load_constraints(args.constraints_file)
     manager = StreamSessionManager(
         constraints, window=args.window,
+        options=CleaningOptions(backend=args.backend),
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=(args.checkpoint_every
                           if args.checkpoint_dir else 0),
         resume=args.resume)
-    # Readings already covered by a resumed checkpoint are *skipped*, so
-    # feeding the same input file again continues where the kill struck.
-    resumed_duration = {object_id: manager.session(object_id).duration
-                        for object_id in manager.objects()}
-    seen: dict = {}
-    ingested = 0
-    for line in _serve_lines(args):
-        line = line.strip()
+    # Readings already covered by a resumed checkpoint are *skipped* (in
+    # the engine), so feeding the same input file again continues where
+    # the kill struck.
+    engine = ServeEngine(manager, estimate_every=args.estimate_every,
+                         stats_every=args.stats_every)
+    iterator = iter(_serve_lines(args))
+    while True:
+        if args.max_readings is not None and \
+                engine.ingested >= args.max_readings:
+            break
+        raw = next(iterator, None)
+        if raw is None:
+            break
+        line = raw.strip()
         if not line:
             continue
         try:
@@ -784,35 +825,37 @@ def _command_serve(args: argparse.Namespace) -> int:
             print(f"serve: skipping malformed line: {line[:120]}",
                   file=sys.stderr)
             continue
-        seen[object_id] = seen.get(object_id, 0) + 1
-        if seen[object_id] <= resumed_duration.get(object_id, 0):
-            continue
-        try:
-            estimate = manager.ingest(object_id, candidates)
-        except (InconsistentReadingsError, ReadingSequenceError) as error:
-            emit({"object": object_id, "t": seen[object_id] - 1,
-                  "dropped": f"{type(error).__name__}: {error}"})
-            continue
-        ingested += 1
-        cleaner = manager.session(object_id)
-        if args.estimate_every and \
-                cleaner.duration % args.estimate_every == 0:
-            emit({"object": object_id, "t": cleaner.duration - 1,
-                  "estimate": estimate})
-        if args.max_readings is not None and ingested >= args.max_readings:
-            break
-    for object_id in sorted(manager.objects()):
-        cleaner = manager.session(object_id)
-        if cleaner.duration == 0:
-            continue
-        emit({"object": object_id, "final": True,
-              "duration": cleaner.duration, "base": cleaner.base,
-              "frontier_states": cleaner.frontier_size(),
-              "estimate": cleaner.filtered_distribution()})
+        _, out_lines, err_lines = engine.process(object_id, candidates)
+        for out_line in out_lines:
+            print(out_line, flush=True)
+        for err_line in err_lines:
+            print(err_line, file=sys.stderr)
+    for _object_id, final_line in engine.final_entries():
+        print(final_line, flush=True)
+    if args.stats_every:
+        print(engine.summary_line("fleet"), file=sys.stderr)
     if args.checkpoint_dir and not args.no_final_checkpoint:
-        for object_id, path in sorted(manager.checkpoint_all().items()):
+        for object_id, path in engine.checkpoint_entries():
             print(f"serve: checkpointed {object_id!r} -> {path}",
                   file=sys.stderr)
+    return 0
+
+
+def _serve_sharded(args: argparse.Namespace) -> int:
+    from repro.runtime.shards import StreamShardPool
+
+    pool = StreamShardPool(
+        args.shards, constraints_file=args.constraints_file,
+        window=args.window, checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=(args.checkpoint_every
+                          if args.checkpoint_dir else 0),
+        resume=args.resume, estimate_every=args.estimate_every,
+        stats_every=args.stats_every, backend=args.backend)
+    with pool:
+        pool.serve(_serve_lines(args), sys.stdout, sys.stderr,
+                   max_readings=args.max_readings)
+        pool.finish(sys.stdout, sys.stderr,
+                    final_checkpoint=not args.no_final_checkpoint)
     return 0
 
 

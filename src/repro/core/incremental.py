@@ -52,8 +52,11 @@ if TYPE_CHECKING:
 __all__ = [
     "IncrementalCleaner",
     "FinalizedGraph",
+    "Frontier",
     "advance_frontier",
+    "advance_frontier_routed",
     "coerce_candidate_row",
+    "frontier_to_dict",
     "resolve_finalize_options",
 ]
 
@@ -124,20 +127,96 @@ def advance_frontier(frontier: Dict[NodeState, float],
         for location, state in source_states(row, constraints).items():
             advanced[state] = row[location]
         return advanced
+    # Successor tuples are interned per step: a successor equal to one of
+    # the *input* frontier's states reuses that exact tuple object, so
+    # long streams (and the retained levels of StreamingCleaner) share
+    # state tuples across levels instead of holding equal copies.
+    interned: Dict[NodeState, NodeState] = {state: state
+                                            for state in frontier}
     for state, mass in frontier.items():
         for destination, probability in row.items():
             successor = successor_state(tau - 1, state, destination,
                                         constraints)
             if successor is not None:
+                successor = interned.setdefault(successor, successor)
                 advanced[successor] = (advanced.get(successor, 0.0)
                                        + mass * probability)
-    # Rescale to ward off underflow on long streams (only ratios
-    # matter for the filtered distribution).
+    # Rescale to ward off underflow on long streams (only ratios matter
+    # for the filtered distribution).  A peak of exactly 1.0 makes the
+    # rescale the identity, so the dict rebuild is skipped.
     peak = max(advanced.values(), default=0.0)
-    if peak > 0.0:
+    if peak > 0.0 and peak != 1.0:
         advanced = {state: mass / peak
                     for state, mass in advanced.items()}
     return advanced
+
+
+#: A live forward frontier in either representation: the python oracle's
+#: ``Dict[NodeState, float]`` or the vectorized
+#: :class:`~repro.core.kernels.KernelFrontier` (signature node + float64
+#: mass array).  Both are falsy exactly when no valid continuation exists
+#: and ``len()`` is the state count.
+Frontier = Union[Dict[NodeState, float], "KernelFrontier"]
+
+if TYPE_CHECKING:
+    from repro.core.kernels import FrontierKernel, KernelFrontier
+
+
+def frontier_to_dict(frontier: "Frontier") -> Dict[NodeState, float]:
+    """The oracle-form dict of either frontier representation.
+
+    For a kernel frontier this materialises absolute node states in the
+    oracle's key order with the kernel's float bits unchanged — the
+    bridge that lets checkpoints, window conditioning and backend
+    switches treat both representations uniformly.
+    """
+    if isinstance(frontier, dict):
+        return frontier
+    return frontier.to_dict()
+
+
+def advance_frontier_routed(frontier: "Frontier", row: Mapping[str, float],
+                            tau: int, constraints: ConstraintSet, *,
+                            backend: str = "python",
+                            kernel: Optional["FrontierKernel"] = None,
+                            ) -> Tuple["Frontier",
+                                       Optional["FrontierKernel"]]:
+    """One ingest step, routed to the oracle or the vectorized kernel.
+
+    The routing mirrors PR 7's sweep kernels: ``backend="python"`` always
+    runs :func:`advance_frontier`; ``"numpy"`` runs the compiled
+    transition tables of :class:`~repro.core.kernels.FrontierKernel` when
+    numpy is available (falling back silently otherwise); ``"auto"``
+    engages them only from
+    :data:`~repro.core.kernels.KERNEL_MIN_LEVEL_EDGES` predicted
+    transitions per step.  Returns ``(new_frontier, kernel)`` — the
+    kernel is created lazily on first numpy use and must be threaded back
+    in by the caller so its table cache persists across steps (and may be
+    shared across a fleet's sessions).  Representation switches are
+    handled here: a dict frontier entering the kernel path is adopted
+    bit-exactly, a kernel frontier falling back to python is materialised
+    first.
+    """
+    from repro.core import kernels as _kernels
+
+    if backend == "python":
+        resolved = "python"
+    else:
+        predicted_edges = max(1, len(frontier)) * len(row)
+        resolved = _kernels.resolve_backend(backend,
+                                            level_edges=predicted_edges)
+    if resolved == "numpy":
+        if kernel is None:
+            kernel = _kernels.FrontierKernel(constraints)
+        if tau == 0:
+            return kernel.seed(row), kernel
+        if isinstance(frontier, dict):
+            live = kernel.enter(frontier, tau - 1)
+        else:
+            live = frontier
+        return kernel.advance(live, row), kernel
+    return (advance_frontier(frontier_to_dict(frontier), row, tau,
+                             constraints), kernel)
 
 
 def resolve_finalize_options(options: CleaningOptions,
@@ -178,13 +257,19 @@ class IncrementalCleaner:
 
     def __init__(self, constraints: ConstraintSet,
                  options: CleaningOptions = CleaningOptions(),
-                 prior=None) -> None:
+                 prior=None, *,
+                 frontier_kernel: Optional["FrontierKernel"] = None) -> None:
         self.constraints = constraints
         self.options = options
         self.prior = prior
         self._rows: List[Dict[str, float]] = []
-        # Unnormalised filtered mass per frontier node state.
-        self._frontier: Dict[NodeState, float] = {}
+        # Unnormalised filtered mass per frontier node state — dict form
+        # under the python backend, KernelFrontier under numpy.
+        self._frontier: Frontier = {}
+        # The vectorized backend's transition-table cache; pass one in to
+        # share compiled tables across cleaners (created lazily when the
+        # numpy path first engages otherwise).
+        self._kernel = frontier_kernel
         # Whether finalize() already wrote the *configured* options.output
         # (an explicit finalize(output=...) never sets this).
         self._output_consumed = False
@@ -216,8 +301,9 @@ class IncrementalCleaner:
         """
         row = coerce_candidate_row(candidates, self.duration)
         tau = self.duration
-        frontier = advance_frontier(self._frontier, row, tau,
-                                    self.constraints)
+        frontier, self._kernel = advance_frontier_routed(
+            self._frontier, row, tau, self.constraints,
+            backend=self.options.backend, kernel=self._kernel)
         if not frontier:
             raise InconsistentReadingsError(
                 f"no valid continuation at timestep {tau}")
@@ -229,10 +315,14 @@ class IncrementalCleaner:
         """``P(X_now | readings so far, prefix validity)`` — the live estimate."""
         if not self._rows:
             raise ReadingSequenceError("no readings ingested yet")
-        raw: Dict[str, float] = {}
-        for state, mass in self._frontier.items():
-            location = state_location(state)
-            raw[location] = raw.get(location, 0.0) + mass
+        frontier = self._frontier
+        if isinstance(frontier, dict):
+            raw: Dict[str, float] = {}
+            for state, mass in frontier.items():
+                location = state_location(state)
+                raw[location] = raw.get(location, 0.0) + mass
+        else:
+            raw = frontier.location_masses()
         total = math.fsum(raw.values())
         return {location: mass / total for location, mass in raw.items()}
 

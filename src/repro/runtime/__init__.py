@@ -8,7 +8,9 @@ worker processes with per-constraint-set precomputation
 deterministic, input-ordered results.  For *live* fleets,
 :class:`StreamSessionManager` hosts one bounded-memory
 :class:`~repro.streaming.StreamingCleaner` per tag with shared
-per-object checkpointing (the engine behind ``rfid-ctg serve``).
+per-object checkpointing (the engine behind ``rfid-ctg serve``), and
+:class:`StreamShardPool` partitions that fleet across worker processes
+by object-id hash with ordered output merging (``serve --shards N``).
 See ``docs/runtime.md``.
 """
 
@@ -20,13 +22,17 @@ from repro.runtime.batch import (
 )
 from repro.runtime.plan import QueryPlan, SharedCleaningPlan
 from repro.runtime.sessions import StreamSessionManager
+from repro.runtime.shards import ServeEngine, StreamShardPool, shard_of
 
 __all__ = [
     "BatchCleaner",
     "BatchOutcome",
     "BatchResult",
     "QueryPlan",
+    "ServeEngine",
     "SharedCleaningPlan",
     "StreamSessionManager",
+    "StreamShardPool",
     "clean_many",
+    "shard_of",
 ]

@@ -65,6 +65,16 @@ class StreamSessionManager:
                                 if checkpoint_dir is not None else None)
         self._sessions: Dict[str, StreamingCleaner] = {}
         self._since_checkpoint: Dict[str, int] = {}
+        # One FrontierKernel for the whole fleet (the way
+        # SharedCleaningPlan shares DU rows): every session gets the same
+        # transition-table cache, so a frontier signature compiled while
+        # streaming one object serves every other object too.
+        self._kernel = None
+        if options.backend != "python":
+            from repro.core.kernels import FrontierKernel, numpy_available
+
+            if numpy_available():
+                self._kernel = FrontierKernel(constraints)
         if resume:
             self._resume_all()
 
@@ -84,7 +94,8 @@ class StreamSessionManager:
                 raise ReadingSequenceError(
                     f"{path}: checkpoint carries no object id — it was "
                     "not written by a StreamSessionManager")
-            cleaner = StreamingCleaner.resume(path, prior=self.prior)
+            cleaner = StreamingCleaner.resume(path, prior=self.prior,
+                                              frontier_kernel=self._kernel)
             if cleaner.constraints != self.constraints:
                 raise ReadingSequenceError(
                     f"{path}: object {object_id!r} was checkpointed under "
@@ -97,13 +108,20 @@ class StreamSessionManager:
         """The hosted object ids, in first-seen (or resume-scan) order."""
         return tuple(self._sessions)
 
+    @property
+    def frontier_kernel(self):
+        """The fleet-shared transition-table cache (``None`` when the
+        python backend is selected or numpy is unavailable)."""
+        return self._kernel
+
     def session(self, object_id: str) -> StreamingCleaner:
         """The object's cleaner, created on first use."""
         cleaner = self._sessions.get(object_id)
         if cleaner is None:
             cleaner = StreamingCleaner(self.constraints, window=self.window,
                                        options=self.options,
-                                       prior=self.prior)
+                                       prior=self.prior,
+                                       frontier_kernel=self._kernel)
             self._sessions[object_id] = cleaner
         return cleaner
 
@@ -130,13 +148,19 @@ class StreamSessionManager:
         return cleaner.filtered_distribution()
 
     def _after_ingest(self, object_id: str) -> None:
-        if not self.checkpoint_every:
-            return
         count = self._since_checkpoint.get(object_id, 0) + 1
-        if count >= self.checkpoint_every:
+        if self.checkpoint_every and count >= self.checkpoint_every:
             self.checkpoint(object_id)
             count = 0
         self._since_checkpoint[object_id] = count
+
+    def checkpoint_lag(self, object_id: str) -> int:
+        """Readings ingested for the object since its last checkpoint.
+
+        Counted even with automatic checkpointing off (``--stats-every``
+        reports it as the data loss a crash right now would cost).
+        """
+        return self._since_checkpoint.get(object_id, 0)
 
     # ------------------------------------------------------------------
     def checkpoint_path(self, object_id: str) -> Path:

@@ -85,8 +85,11 @@ __all__ = [
     "CheckpointPayload",
     "CheckpointState",
     "MappedCTGraph",
+    "SHARD_MANIFEST",
+    "ensure_shard_manifest",
     "load_ctg",
     "read_stream_checkpoint",
+    "read_shard_manifest",
     "save_ctg",
     "write_ctg",
     "write_stream_checkpoint",
@@ -898,3 +901,68 @@ def _parse(path, buffer, mapped, backing: str, *, flags: int, duration: int,
         edge_probabilities=edge_probabilities, source_probabilities=source,
         num_nodes=num_nodes, num_edges=num_edges, stats=stats,
         mapped=mapped)
+
+
+# ----------------------------------------------------------------------
+# shard manifest (rfid-ctg/shards@1)
+# ----------------------------------------------------------------------
+#: File name of the shard manifest a sharded ``rfid-ctg serve`` writes
+#: into its checkpoint directory.
+SHARD_MANIFEST = "shards.json"
+
+_SHARD_FORMAT = "rfid-ctg/shards@1"
+
+
+def read_shard_manifest(directory) -> Optional[int]:
+    """The shard count recorded in ``directory``, or ``None`` if no
+    manifest exists (the flat single-process layout).
+
+    Raises :class:`~repro.errors.StoreFormatError` when the file exists
+    but is not a valid ``rfid-ctg/shards@1`` manifest.
+    """
+    path = os.path.join(os.fspath(directory), SHARD_MANIFEST)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError) as error:
+        raise StoreFormatError(
+            f"{path}: unreadable shard manifest ({error})") from None
+    shards = payload.get("shards") if isinstance(payload, dict) else None
+    if (not isinstance(payload, dict)
+            or payload.get("format") != _SHARD_FORMAT
+            or not isinstance(shards, int) or shards < 1):
+        raise StoreFormatError(
+            f"{path}: not a {_SHARD_FORMAT} manifest")
+    return shards
+
+
+def ensure_shard_manifest(directory, shards: int) -> None:
+    """Pin ``directory`` to a shard layout, refusing a mismatched one.
+
+    A checkpoint directory written with ``--shards N`` keeps each
+    worker's files under ``shard-00`` .. ``shard-NN`` subdirectories; a
+    resume under a different shard count would silently find none of
+    them.  This helper makes the layout explicit: for ``shards > 1`` it
+    records the count in :data:`SHARD_MANIFEST` (creating the directory
+    if needed), and for any count it raises
+    :class:`~repro.errors.StoreFormatError` when an existing manifest
+    disagrees.  A directory without a manifest is the flat ``shards == 1``
+    layout, which stays untouched for compatibility with pre-shard
+    checkpoints.
+    """
+    recorded = read_shard_manifest(directory)
+    if recorded is not None and recorded != shards:
+        raise StoreFormatError(
+            f"{os.fspath(directory)}: checkpoint directory was written "
+            f"with --shards {recorded}, not --shards {shards}; resume "
+            "with the recorded shard count (or point at a fresh "
+            "directory)")
+    if shards > 1 and recorded is None:
+        os.makedirs(os.fspath(directory), exist_ok=True)
+        path = os.path.join(os.fspath(directory), SHARD_MANIFEST)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"format": _SHARD_FORMAT, "shards": shards}, handle)
+        os.replace(tmp, path)

@@ -44,8 +44,10 @@ from repro.core.constraints import ConstraintSet
 from repro.core.ctgraph import CTGraph, CTNode
 from repro.core.incremental import (
     FinalizedGraph,
-    advance_frontier,
+    Frontier,
+    advance_frontier_routed,
     coerce_candidate_row,
+    frontier_to_dict,
     resolve_finalize_options,
 )
 from repro.core.lsequence import LSequence
@@ -70,8 +72,10 @@ __all__ = ["StreamingCleaner", "DEFAULT_WINDOW"]
 DEFAULT_WINDOW = 64
 
 #: One retained level: the candidate row of that timestep and the forward
-#: frontier *after* ingesting it.
-_Level = Tuple[Dict[str, float], Dict[NodeState, float]]
+#: frontier *after* ingesting it — dict form under the python backend, a
+#: :class:`~repro.core.kernels.KernelFrontier` under the numpy backend
+#: (checkpoints materialise either form to the same dict layout).
+_Level = Tuple[Dict[str, float], Frontier]
 
 
 class StreamingCleaner:
@@ -97,7 +101,7 @@ class StreamingCleaner:
     def __init__(self, constraints: ConstraintSet, *,
                  window: int = DEFAULT_WINDOW,
                  options: CleaningOptions = CleaningOptions(),
-                 prior=None) -> None:
+                 prior=None, frontier_kernel=None) -> None:
         if not isinstance(window, int) or window < 1:
             raise ReadingSequenceError(
                 f"window must be a positive integer, got {window!r}")
@@ -109,6 +113,11 @@ class StreamingCleaner:
         self._base = 0
         self._duration = 0
         self._output_consumed = False
+        # Transition-table cache of the numpy frontier backend; a
+        # StreamSessionManager passes one shared FrontierKernel to every
+        # session so tables compiled for one object serve the whole
+        # fleet.  Created lazily if the numpy path engages without one.
+        self._kernel = frontier_kernel
 
     # ------------------------------------------------------------------
     # introspection
@@ -132,7 +141,7 @@ class StreamingCleaner:
         """How many node states the live frontier carries."""
         return len(self._frontier())
 
-    def _frontier(self) -> Dict[NodeState, float]:
+    def _frontier(self) -> Frontier:
         return self._levels[-1][1] if self._levels else {}
 
     # ------------------------------------------------------------------
@@ -158,8 +167,9 @@ class StreamingCleaner:
         level's frontier, so nothing is recomputed.
         """
         row = coerce_candidate_row(candidates, self._duration)
-        frontier = advance_frontier(self._frontier(), row, self._duration,
-                                    self.constraints)
+        frontier, self._kernel = advance_frontier_routed(
+            self._frontier(), row, self._duration, self.constraints,
+            backend=self.options.backend, kernel=self._kernel)
         if not frontier:
             raise InconsistentReadingsError(
                 f"no valid continuation at timestep {self._duration}")
@@ -176,10 +186,14 @@ class StreamingCleaner:
         """``P(X_now | readings so far, prefix validity)`` — the live estimate."""
         if not self._levels:
             raise ReadingSequenceError("no readings ingested yet")
-        raw: Dict[str, float] = {}
-        for state, mass in self._frontier().items():
-            location = state_location(state)
-            raw[location] = raw.get(location, 0.0) + mass
+        frontier = self._frontier()
+        if isinstance(frontier, dict):
+            raw: Dict[str, float] = {}
+            for state, mass in frontier.items():
+                location = state_location(state)
+                raw[location] = raw.get(location, 0.0) + mass
+        else:
+            raw = frontier.location_masses()
         total = math.fsum(raw.values())
         return {location: mass / total for location, mass in raw.items()}
 
@@ -242,7 +256,7 @@ class StreamingCleaner:
         """
         base = self._base
         rows = [row for row, _ in self._levels]
-        entry = self._levels[0][1]
+        entry = frontier_to_dict(self._levels[0][1])
         count = len(rows)
         last = count - 1
 
@@ -397,7 +411,7 @@ class StreamingCleaner:
                 (intern(state_location(state)), state_stay(state),
                  tuple((time, intern(location)) for time, location
                        in state_departures(state)), mass)
-                for state, mass in frontier.items()])
+                for state, mass in frontier_to_dict(frontier).items()])
         meta = {
             "window": self.window,
             "base": self._base,
@@ -418,13 +432,18 @@ class StreamingCleaner:
             rows=rows, frontiers=frontiers)
 
     @classmethod
-    def resume(cls, path, *, prior=None) -> "StreamingCleaner":
+    def resume(cls, path, *, prior=None,
+               frontier_kernel=None) -> "StreamingCleaner":
         """Rebuild a session from a :meth:`checkpoint` file.
 
         The restored cleaner is bit-identical to the one that wrote the
         checkpoint: same rows, frontiers, dict orders and float bits, so
         continuing the stream gives exactly the uninterrupted results.
-        Raises :class:`~repro.errors.StoreFormatError` /
+        Frontiers resume in dict form regardless of the backend that
+        wrote them; the kernel backend re-adopts the live frontier on the
+        next :meth:`extend` (``frontier_kernel`` seeds its table cache,
+        e.g. a fleet's shared one).  Raises
+        :class:`~repro.errors.StoreFormatError` /
         :class:`~repro.errors.StoreChecksumError` on a damaged file.
         """
         from repro.io.jsonio import constraints_from_dicts
@@ -444,7 +463,7 @@ class StreamingCleaner:
                 f"{path}: checkpoint meta is missing or malformed "
                 f"({error})") from None
         cleaner = cls(constraints, window=window, options=options,
-                      prior=prior)
+                      prior=prior, frontier_kernel=frontier_kernel)
         names = payload.location_names
         levels: List[_Level] = []
         for row_pairs, frontier_states in zip(payload.rows,

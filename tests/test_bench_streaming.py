@@ -1,8 +1,9 @@
 """Smoke test for benchmarks/bench_streaming.py: the bench must run on
-a tiny stream, pass its own memory-bound and bit-equality gates, and
-emit a well-formed BENCH_streaming.json (the gates are correctness
-claims, so unlike the perf benches they are asserted even at smoke
-size)."""
+a tiny stream, pass its own memory-bound, bit-equality, kernel-parity
+and shard-identity gates, and emit a well-formed BENCH_streaming.json
+(the gates are correctness claims, so unlike the perf numbers they are
+asserted even at smoke size; only the kernel *speedup* gate is
+full-run-only)."""
 
 import json
 import os
@@ -14,11 +15,19 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH = REPO_ROOT / "benchmarks" / "bench_streaming.py"
 
 
-def _bench_env():
+def _bench_env(**extra):
     env = dict(os.environ)
     env["PYTHONPATH"] = (str(REPO_ROOT / "src") + os.pathsep
                          + env.get("PYTHONPATH", ""))
+    env.update(extra)
     return env
+
+
+def _check(path, env=None):
+    return subprocess.run(
+        [sys.executable, str(BENCH), "--check", str(path)],
+        capture_output=True, text=True, env=env or _bench_env(),
+        timeout=60)
 
 
 def test_smoke_emits_well_formed_json(tmp_path):
@@ -31,6 +40,7 @@ def test_smoke_emits_well_formed_json(tmp_path):
 
     payload = json.loads(out.read_text())
     assert payload["benchmark"] == "bench_streaming"
+    assert payload["schema_version"] == 2
     assert payload["smoke"] is True
     workload = payload["workload"]
     assert workload["duration"] == 300
@@ -45,30 +55,105 @@ def test_smoke_emits_well_formed_json(tmp_path):
     assert parity["finalize_bit_equal"] is True
     assert payload["throughput"]["readings_per_second"] > 0.0
 
+    kernel = payload["kernel"]
+    assert kernel["backend"] == "numpy"
+    if kernel["available"]:
+        assert kernel["backend_resolved"] == "numpy"
+        assert kernel["kernel_speedup"] > 0.0
+        assert kernel["parity"]["filtered_close"] is True
+        assert kernel["parity"]["resume_bit_equal"] is True
+    else:
+        assert kernel["backend_resolved"] == "python"
+        assert kernel["kernel_speedup"] is None
+
+    shard = payload["shard"]
+    assert shard["shards"] == 2
+    assert shard["merged_identical"] is True
+
     # The bench's own --check mode agrees.
-    check = subprocess.run(
-        [sys.executable, str(BENCH), "--check", str(out)],
-        capture_output=True, text=True, env=_bench_env(), timeout=60)
+    check = _check(out)
     assert check.returncode == 0, check.stderr
+
+
+def test_no_numpy_leg_passes_with_null_speedup(tmp_path):
+    # The pure-python fallback (REPRO_NO_NUMPY) must run the whole
+    # bench — shard identity included — with the kernel leg recorded
+    # as unavailable, and still pass --check.
+    out = tmp_path / "BENCH_nonp.json"
+    env = _bench_env(REPRO_NO_NUMPY="1")
+    run = subprocess.run(
+        [sys.executable, str(BENCH), "--duration", "120",
+         "--window", "8", "--smoke", "--out", str(out)],
+        capture_output=True, text=True, env=env, timeout=300)
+    assert run.returncode == 0, run.stderr
+    payload = json.loads(out.read_text())
+    kernel = payload["kernel"]
+    assert kernel["available"] is False
+    assert kernel["backend_resolved"] == "python"
+    assert kernel["kernel_speedup"] is None
+    assert payload["shard"]["merged_identical"] is True
+    assert _check(out, env=env).returncode == 0
+
+
+def _valid_v2_payload():
+    return {
+        "benchmark": "bench_streaming", "schema_version": 2,
+        "smoke": True,
+        "workload": {"duration": 300, "window": 16},
+        "memory": {"retained_levels_max": 16, "frontier_states_max": 5,
+                   "frontier_states_gate": 240, "checkpoint_bytes": 1},
+        "parity": {"filtered_bit_equal": True, "resume_bit_equal": True,
+                   "finalize_bit_equal": True},
+        "throughput": {"ingest_seconds": 0.1,
+                       "readings_per_second": 3000.0},
+        "kernel": {"backend": "numpy", "available": True,
+                   "backend_resolved": "numpy", "ingest_seconds": 0.01,
+                   "readings_per_second": 30000.0, "kernel_speedup": 10.0,
+                   "parity": {"filtered_close": True, "parity_prefix": 300,
+                              "resume_bit_equal": True}},
+        "shard": {"shards": 2, "objects": 4, "readings": 300,
+                  "merged_identical": True, "single_seconds": 0.1,
+                  "pool_seconds": 0.1},
+    }
 
 
 def test_check_rejects_divergence(tmp_path):
     bad = tmp_path / "bad.json"
-    payload = {
-        "benchmark": "bench_streaming", "schema_version": 1,
-        "smoke": True,
-        "workload": {"duration": 300, "window": 16},
-        "memory": {"retained_levels_max": 17, "frontier_states_max": 5,
-                   "frontier_states_gate": 240, "checkpoint_bytes": 1},
-        "parity": {"filtered_bit_equal": True, "resume_bit_equal": False,
-                   "finalize_bit_equal": True},
-        "throughput": {"ingest_seconds": 0.1,
-                       "readings_per_second": 3000.0},
-    }
+    payload = _valid_v2_payload()
+    payload["memory"]["retained_levels_max"] = 17
+    payload["parity"]["resume_bit_equal"] = False
+    payload["kernel"]["parity"]["filtered_close"] = False
+    payload["shard"]["merged_identical"] = False
     bad.write_text(json.dumps(payload))
-    check = subprocess.run(
-        [sys.executable, str(BENCH), "--check", str(bad)],
-        capture_output=True, text=True, env=_bench_env(), timeout=60)
+    check = _check(bad)
     assert check.returncode == 1
     assert "retained levels" in check.stderr
     assert "resume_bit_equal" in check.stderr
+    assert "filtered_close" in check.stderr
+    assert "merged_identical" in check.stderr
+
+
+def test_check_gates_speedup_on_full_runs_only(tmp_path):
+    slow = _valid_v2_payload()
+    slow["kernel"]["kernel_speedup"] = 1.5
+    path = tmp_path / "slow_smoke.json"
+    path.write_text(json.dumps(slow))
+    # Smoke runs report the speedup but do not gate it...
+    assert _check(path).returncode == 0
+    # ...full runs gate it at 4x.
+    slow["smoke"] = False
+    path.write_text(json.dumps(slow))
+    check = _check(path)
+    assert check.returncode == 1
+    assert "below the 4x gate" in check.stderr
+
+
+def test_check_rejects_phantom_speedup_without_numpy(tmp_path):
+    ghost = _valid_v2_payload()
+    ghost["kernel"].update({"available": False,
+                            "backend_resolved": "python"})
+    path = tmp_path / "ghost.json"
+    path.write_text(json.dumps(ghost))
+    check = _check(path)
+    assert check.returncode == 1
+    assert "must be null" in check.stderr

@@ -247,6 +247,41 @@ class TestServe:
                             "--resume"]) == 0
         assert self._finals(capsys) == reference
 
+    def test_sharded_output_is_byte_identical(self, setup, capsys):
+        constraints_path, stream = setup
+        base = ["serve", "--constraints-file", str(constraints_path),
+                "--input", str(stream), "--window", "16",
+                "--estimate-every", "5"]
+        assert main(base) == 0
+        reference = capsys.readouterr().out
+        assert main(base + ["--shards", "2"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_sharded_kill_resume_equals_uninterrupted(self, setup,
+                                                      tmp_path, capsys):
+        constraints_path, stream = setup
+        ckpt = tmp_path / "shard-ckpt"
+        base = ["serve", "--constraints-file", str(constraints_path),
+                "--input", str(stream), "--window", "16",
+                "--shards", "2"]
+        assert main(["serve", "--constraints-file", str(constraints_path),
+                     "--input", str(stream), "--window", "16"]) == 0
+        reference = self._finals(capsys)
+        assert main(base + ["--checkpoint-dir", str(ckpt),
+                            "--checkpoint-every", "7",
+                            "--max-readings", "50",
+                            "--no-final-checkpoint"]) == 0
+        capsys.readouterr()
+        assert list(ckpt.glob("shard-*/*.ckpt"))
+        assert main(base + ["--checkpoint-dir", str(ckpt),
+                            "--resume"]) == 0
+        assert self._finals(capsys) == reference
+        # A different shard count cannot resume this directory.
+        assert (ckpt / "shards.json").exists()
+        with pytest.raises(SystemExit, match="--shards 2"):
+            main(base[:-2] + ["--shards", "3", "--checkpoint-dir",
+                              str(ckpt), "--resume"])
+
     def test_live_estimates_and_drops(self, setup, tmp_path, capsys):
         import json
 
